@@ -1,0 +1,119 @@
+// google-benchmark micro-benchmarks of the CPU substrate (the "MKL"
+// stand-in): per-problem factorization costs and the BLAS-3 core. These
+// document the host's baseline performance, which Figs. 11-12 compare
+// against.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/generators.h"
+#include "common/rng.h"
+#include "cpu/cpu.h"
+#include "model/flops.h"
+
+namespace {
+
+using namespace regla;
+
+void BM_CpuQr(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  Matrix<float> a(n, n), work(n, n);
+  fill_uniform(a.view(), rng);
+  std::vector<float> tau;
+  for (auto _ : state) {
+    work = a;
+    cpu::qr_factor(work.view(), tau);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      model::qr_flops(n, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuQr)->Arg(8)->Arg(16)->Arg(32)->Arg(56)->Arg(96)->Arg(144);
+
+void BM_CpuLuNoPivot(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  Matrix<float> a(n, n), work(n, n);
+  fill_diag_dominant(a.view(), rng);
+  for (auto _ : state) {
+    work = a;
+    benchmark::DoNotOptimize(cpu::lu_nopivot(work.view()));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      model::lu_flops(n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuLuNoPivot)->Arg(8)->Arg(16)->Arg(32)->Arg(56)->Arg(96)->Arg(144);
+
+void BM_CpuGaussJordan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  Matrix<float> a(n, n), b(n, 1), wa(n, n), wb(n, 1);
+  fill_diag_dominant(a.view(), rng);
+  fill_uniform(b.view(), rng);
+  for (auto _ : state) {
+    wa = a;
+    wb = b;
+    benchmark::DoNotOptimize(cpu::gauss_jordan_solve(wa.view(), wb.view()));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      model::gj_flops(n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuGaussJordan)->Arg(8)->Arg(32)->Arg(96);
+
+void BM_CpuComplexQr(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(m + n);
+  MatrixC a(m, n), work(m, n);
+  fill_uniform(a.view(), rng);
+  std::vector<cpu::cfloat> tau;
+  for (auto _ : state) {
+    work = a;
+    cpu::qr_factor(work.view(), tau);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      model::cqr_flops(m, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuComplexQr)->Args({80, 16})->Args({240, 66})->Args({192, 96});
+
+void BM_CpuGemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  Matrix<float> a(n, n), b(n, n), c(n, n);
+  fill_uniform(a.view(), rng);
+  fill_uniform(b.view(), rng);
+  for (auto _ : state) {
+    cpu::sgemm('N', 'N', 1.0f, a.view(), b.view(), 0.0f, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * n * n * n * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchedCpuQr(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int count = 256;
+  BatchF batch(count, n, n), work(count, n, n);
+  fill_uniform(batch, n);
+  for (auto _ : state) {
+    work = batch;
+    cpu::batched_qr(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      model::qr_flops(n, n) * count * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchedCpuQr)->Arg(16)->Arg(56);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Ablation A2+: the solver design space on the simulated GPU, per size —
+// what each factorization/solve costs and what stability features add:
+//   * Gauss-Jordan (n^3) vs LU (2/3 n^3) vs Cholesky (1/3 n^3, SPD only)
+//   * partial pivoting on top of LU (the paper skips it; this measures what
+//     it would have cost: pivot search + row swaps every column)
+//   * QR solve (stable for general systems) as the upper bound.
+#include "bench_util.h"
+#include "common/generators.h"
+#include "core/per_block.h"
+#include "core/per_block_ext.h"
+#include "model/per_block_model.h"
+
+namespace {
+
+void fill_spd(regla::BatchF& batch, std::uint64_t seed) {
+  const int n = batch.rows();
+  for (int k = 0; k < batch.count(); ++k) {
+    regla::Rng rng(seed + k);
+    regla::Matrix<float> b(n, n);
+    regla::fill_uniform(b.view(), rng);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) {
+        float acc = (i == j) ? static_cast<float>(n) : 0.0f;
+        for (int l = 0; l < n; ++l) acc += b(i, l) * b(j, l);
+        batch.at(k, i, j) = acc;
+      }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace regla;
+  simt::Device dev;
+  Table t({"n", "cholesky", "LU", "LU+pivot", "pivot cost %", "GJ solve",
+           "QR solve"});
+  t.precision(1);
+  for (int n : {16, 32, 48, 56, 64, 96}) {
+    const int threads = model::choose_block_threads(dev.config(), n, n);
+    const int blocks = bench::wave_blocks(
+        dev.config(), threads, core::per_block_regs(dev.config(), n, n, threads));
+
+    BatchF sc(blocks, n, n);
+    fill_spd(sc, n);
+    const auto chol = core::cholesky_per_block(dev, sc);
+
+    BatchF lu(blocks, n, n);
+    fill_diag_dominant(lu, n);
+    const auto lun = core::lu_per_block(dev, lu);
+
+    BatchF lup(blocks, n, n);
+    fill_diag_dominant(lup, n + 1);
+    const auto lup_r = core::lu_pivot_per_block(dev, lup);
+
+    BatchF ga(blocks, n, n), gb(blocks, n, 1);
+    fill_diag_dominant(ga, n + 2);
+    fill_uniform(gb, n + 3);
+    const auto gj = core::gj_solve_per_block(dev, ga, gb);
+
+    BatchF qa(blocks, n, n), qb(blocks, n, 1);
+    fill_diag_dominant(qa, n + 4);
+    fill_uniform(qb, n + 5);
+    const auto qr = core::qr_solve_per_block(dev, qa, qb);
+
+    const double pivot_cost =
+        100.0 * (lup_r.launch.seconds - lun.launch.seconds) / lun.launch.seconds;
+    t.add_row({static_cast<long long>(n), chol.gflops(), lun.gflops(),
+               lup_r.gflops(), pivot_cost, gj.gflops(), qr.gflops()});
+  }
+  bench::emit(t, "ablation_solvers",
+              "Solver design space, GFLOP/s per kernel (pivot cost = extra "
+              "time partial pivoting adds to LU)");
+  return 0;
+}

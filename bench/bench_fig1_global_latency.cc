@@ -1,0 +1,18 @@
+// Fig. 1: global memory latency as a function of access stride (pointer
+// chasing over a 2^26-word array). The staircase comes from L2-line reuse at
+// small strides, DRAM row-buffer locality at medium strides and TLB thrash
+// at page-sized strides; the plateau is Table III's 570 cycles.
+#include "bench_util.h"
+#include "microbench/microbench.h"
+
+int main() {
+  using regla::Table;
+  regla::simt::Device dev;
+  Table t({"log2(stride)", "cycles"});
+  t.precision(0);
+  for (int s = 0; s <= 26; ++s)
+    t.add_row({static_cast<long long>(s),
+               regla::microbench::global_latency_cycles(dev, std::size_t{1} << s)});
+  regla::bench::emit(t, "fig1", "Global memory latency vs stride");
+  return 0;
+}

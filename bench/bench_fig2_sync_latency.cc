@@ -1,0 +1,17 @@
+// Fig. 2: __syncthreads() latency as a function of threads per
+// multiprocessor (barrier chains). Paper: ~46 cycles at 64 threads rising
+// roughly linearly to ~190 at 1024.
+#include "bench_util.h"
+#include "microbench/microbench.h"
+
+int main() {
+  using regla::Table;
+  regla::simt::Device dev;
+  Table t({"threads", "cycles"});
+  t.precision(1);
+  for (int threads = 32; threads <= 1024; threads += 32)
+    t.add_row({static_cast<long long>(threads),
+               regla::microbench::sync_latency_cycles(dev, threads)});
+  regla::bench::emit(t, "fig2", "Synchronization latency vs threads per SM");
+  return 0;
+}

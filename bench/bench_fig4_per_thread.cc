@@ -1,0 +1,40 @@
+// Fig. 4: one-problem-per-thread QR and LU (no pivoting) for n = 3..12,
+// measured (simulator) against the Eq. 1 bandwidth model. The paper runs
+// 64000 problems; we run two full occupancy waves per point — GFLOP/s on a
+// saturated chip is wave-count invariant (see DESIGN.md §4).
+#include "bench_util.h"
+#include "common/generators.h"
+#include "core/per_thread.h"
+#include "model/model.h"
+
+int main() {
+  using namespace regla;
+  simt::Device dev;
+  Table t({"n", "QR measured", "QR predicted", "LU measured", "LU predicted",
+           "spills"});
+  t.precision(1);
+  for (int n = 3; n <= 12; ++n) {
+    const int batch = 2 * 14336;  // two waves of 256-thread blocks
+    BatchF q(batch, n, n);
+    fill_uniform(q, 100 + n);
+    const auto rq = core::qr_per_thread(dev, q);
+    const auto pq = model::predict_per_thread(
+        dev.config(), model::qr_flops(n, n), model::matrix_traffic_bytes(n, n),
+        batch, n * n + dev.config().reg_overhead_per_thread);
+
+    BatchF l(batch, n, n);
+    fill_diag_dominant(l, 200 + n);
+    const auto rl = core::lu_per_thread(dev, l);
+    const auto pl = model::predict_per_thread(
+        dev.config(), model::lu_flops(n), model::matrix_traffic_bytes(n, n),
+        batch, n * n + dev.config().reg_overhead_per_thread);
+
+    t.add_row({static_cast<long long>(n), rq.gflops(), pq.gflops, rl.gflops(),
+               pl.gflops,
+               std::string(rq.launch.totals.spill_bytes > 0 ? "yes" : "no")});
+  }
+  bench::emit(t, "fig4",
+              "One problem per thread, GFLOP/s (model ignores spilling; "
+              "divergence past n=7 is the Fig. 4 cliff)");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 9: one-problem-per-block QR and LU across n = 8..144, measured
+// (simulator) vs predicted (Table VI model). The paper runs 8000 problems;
+// one occupancy wave per point gives the same GFLOP/s. Expect the spill dips
+// at n = 64..72 and past 112, and the 64->256-thread cliff at n = 80 —
+// places where the model (which ignores spilling) diverges, as in the paper.
+#include "bench_util.h"
+#include "common/generators.h"
+#include "core/per_block.h"
+#include "model/model.h"
+
+int main() {
+  using namespace regla;
+  simt::Device dev;
+  Table t({"n", "threads", "QR meas", "QR pred", "LU meas", "LU pred",
+           "blocks/SM"});
+  t.precision(1);
+  for (int n = 8; n <= 144; n += 8) {
+    const int threads = model::choose_block_threads(dev.config(), n, n);
+    const int blocks = bench::wave_blocks(
+        dev.config(), threads, core::per_block_regs(dev.config(), n, n, threads));
+
+    BatchF q(blocks, n, n);
+    fill_uniform(q, n);
+    const auto rq = core::qr_per_block(dev, q);
+    const auto pq =
+        model::predict_per_block(dev.config(), model::BlockAlg::qr, n, n, threads);
+
+    BatchF l(blocks, n, n);
+    fill_diag_dominant(l, n + 1);
+    const auto rl = core::lu_per_block(dev, l);
+    const auto pl =
+        model::predict_per_block(dev.config(), model::BlockAlg::lu, n, n, threads);
+
+    t.add_row({static_cast<long long>(n), static_cast<long long>(threads),
+               rq.gflops(), pq.gflops, rl.gflops(), pl.gflops,
+               static_cast<long long>(rq.launch.blocks_per_sm)});
+  }
+  bench::emit(t, "fig9", "Per-block QR/LU GFLOP/s, measured vs Table VI model");
+  return 0;
+}

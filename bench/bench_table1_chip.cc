@@ -1,0 +1,25 @@
+// Table I: summary of the (simulated) NVIDIA GF100 chip / Quadro 6000.
+#include "bench_util.h"
+#include "simt/device_config.h"
+
+int main() {
+  using regla::Table;
+  const auto cfg = regla::simt::DeviceConfig::quadro6000();
+  Table t({"parameter", "value"});
+  t.precision(2);
+  t.add_row({std::string("Number of multiprocessors (SIMT units)"),
+             static_cast<long long>(cfg.num_sm)});
+  t.add_row({std::string("Total number of FPUs"),
+             static_cast<long long>(cfg.num_sm * cfg.fpus_per_sm)});
+  t.add_row({std::string("Core clock rate (GHz)"), cfg.clock_ghz});
+  t.add_row({std::string("Max registers per FPU"),
+             static_cast<long long>(cfg.max_regs_per_thread)});
+  t.add_row({std::string("Shared memory per SIMT unit (kB usable)"),
+             static_cast<long long>(cfg.shared_bytes_per_sm / 1024)});
+  t.add_row({std::string("Global memory bandwidth (GB/s)"), cfg.dram_peak_gbs});
+  t.add_row({std::string("Peak SP flops (GFlop/s)"), cfg.peak_sp_gflops()});
+  t.add_row({std::string("Peak SP per FPU (GFlop/s)"),
+             cfg.peak_sp_gflops() / (cfg.num_sm * cfg.fpus_per_sm)});
+  regla::bench::emit(t, "table1", "Summary of the simulated GF100 / Quadro 6000");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Table II: bandwidth for each level of the GF100 memory hierarchy, measured
+// by the paper's copy microbenchmarks (Listings 1-2) on the simulator.
+// Paper: shared 62.8 GB/s per core, 880 GB/s all cores, global 108 GB/s.
+#include "bench_util.h"
+#include "microbench/microbench.h"
+
+int main() {
+  using regla::Table;
+  regla::simt::Device dev;
+  Table t({"level", "measured GB/s", "paper GB/s"});
+  t.precision(1);
+  t.add_row({std::string("Shared memory (per core)"),
+             regla::microbench::shared_bandwidth_per_sm_gbs(dev), 62.8});
+  t.add_row({std::string("Shared memory (all cores)"),
+             regla::microbench::shared_bandwidth_all_gbs(dev), 880.0});
+  t.add_row({std::string("Global memory"),
+             regla::microbench::global_copy_gbs(dev), 108.0});
+  regla::bench::emit(t, "table2", "Memory hierarchy bandwidth");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Table III: latencies of each level of the memory hierarchy via pointer
+// chasing. Paper: shared 27 cycles, global 570 cycles.
+#include "bench_util.h"
+#include "microbench/microbench.h"
+
+int main() {
+  using regla::Table;
+  regla::simt::Device dev;
+  Table t({"level", "measured cycles", "paper cycles"});
+  t.precision(1);
+  t.add_row({std::string("Shared memory"),
+             regla::microbench::shared_latency_cycles(dev), 27.0});
+  t.add_row({std::string("Global memory"),
+             regla::microbench::global_latency_cycles(dev, std::size_t{1} << 14),
+             570.0});
+  regla::bench::emit(t, "table3", "Memory hierarchy latency");
+  return 0;
+}

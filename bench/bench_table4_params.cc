@@ -1,0 +1,26 @@
+// Table IV: the parameters of the performance model, each recovered from a
+// microbenchmark on the simulator next to the paper's measured value.
+#include "bench_util.h"
+#include "microbench/microbench.h"
+
+int main() {
+  using regla::Table;
+  regla::simt::Device dev;
+  namespace mb = regla::microbench;
+  Table t({"parameter", "measured", "paper"});
+  t.precision(2);
+  t.add_row({std::string("Global memory latency alpha_glb (cycles)"),
+             mb::global_latency_cycles(dev, std::size_t{1} << 14), 570.0});
+  t.add_row({std::string("Global inverse bandwidth beta_glb (GB/s)"),
+             mb::global_copy_gbs(dev), 108.0});
+  t.add_row({std::string("Shared memory latency alpha_sh (cycles)"),
+             mb::shared_latency_cycles(dev), 27.0});
+  t.add_row({std::string("Shared inverse bandwidth beta_sh (GB/s, all SMs)"),
+             mb::shared_bandwidth_all_gbs(dev), 880.0});
+  t.add_row({std::string("Sync of 64 threads alpha_sync (cycles)"),
+             mb::sync_latency_cycles(dev, 64), 46.0});
+  t.add_row({std::string("FP pipeline latency gamma (cycles)"),
+             mb::fp_pipeline_cycles(dev), 18.0});
+  regla::bench::emit(t, "table4", "Model parameters recovered by microbenchmarks");
+  return 0;
+}

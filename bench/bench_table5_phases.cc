@@ -1,0 +1,36 @@
+// Table V: cycle counts for 56x56 LU and QR one-problem-per-block
+// decompositions, split into load / compute / store. Paper: LU 8800 / 68250 /
+// 8740, QR 9120 / 150203 / 9762 (cycles per block with 8 blocks resident).
+#include "bench_util.h"
+#include "common/generators.h"
+#include "core/per_block.h"
+
+int main() {
+  using namespace regla;
+  simt::Device dev;
+  const int n = 56;
+  const int blocks = 112;  // 8 per SM x 14 SMs, as in the paper
+
+  Table t({"factorization", "load", "compute", "store", "paper load",
+           "paper compute", "paper store"});
+  t.precision(0);
+
+  auto add = [&](const char* name, const core::GpuBatchResult& r, double pl,
+                 double pc, double ps) {
+    const double load = r.launch.cycles_for(simt::OpTag::load);
+    const double store = r.launch.cycles_for(simt::OpTag::store);
+    const double compute = r.launch.block_cycles_avg - load - store;
+    t.add_row({std::string(name), load, compute, store, pl, pc, ps});
+  };
+
+  BatchF lu(blocks, n, n);
+  fill_diag_dominant(lu, 1);
+  add("LU", core::lu_per_block(dev, lu), 8800, 68250, 8740);
+
+  BatchF qr(blocks, n, n);
+  fill_uniform(qr, 2);
+  add("QR", core::qr_per_block(dev, qr), 9120, 150203, 9762);
+
+  bench::emit(t, "table5", "Cycle counts for 56x56 per-block decompositions");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared plumbing for the per-figure/per-table bench binaries: every bench
+// prints the same rows/series the paper reports and drops a CSV next to the
+// working directory for plotting.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "simt/engine.h"
+#include "simt/occupancy.h"
+
+namespace regla::bench {
+
+/// Blocks needed to fill the chip for one wave at this launch shape.
+inline int wave_blocks(const simt::DeviceConfig& cfg, int threads,
+                       int regs_per_thread, std::size_t shared_bytes = 2048) {
+  const auto occ = simt::occupancy(cfg, threads, regs_per_thread, shared_bytes);
+  return occ.blocks_per_sm * cfg.num_sm;
+}
+
+/// Emit the table to stdout and a CSV under bench_results/.
+inline void emit(Table& table, const std::string& id, const std::string& title) {
+  table.print(std::cout, id + " — " + title);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (!ec) table.write_csv_file("bench_results/" + id + ".csv");
+  std::cout << "(csv: bench_results/" << id << ".csv)\n";
+}
+
+}  // namespace regla::bench

@@ -1,0 +1,72 @@
+// Explore the analytical performance model (paper §II/IV/V): for a given
+// problem size, print what Eq. 1 and the Table VI model predict, which
+// approach the library would pick, and how the prediction reacts to machine
+// parameters — the "what if the GPU had more registers / faster sync"
+// questions the model exists to answer.
+//
+// Usage: model_explorer [n] (default 56)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/batched.h"
+#include "model/model.h"
+
+int main(int argc, char** argv) {
+  using namespace regla;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 56;
+  auto cfg = simt::DeviceConfig::quadro6000();
+
+  std::printf("== problem: batched %dx%d single-precision QR ==\n\n", n, n);
+  std::printf("arithmetic intensity: %.2f FLOPs/byte\n",
+              model::intensity(model::qr_flops(n, n),
+                               model::matrix_traffic_bytes(n, n)));
+
+  const auto eq1 = model::predict_per_thread(
+      cfg, model::qr_flops(n, n), model::matrix_traffic_bytes(n, n), 10000,
+      n * n + cfg.reg_overhead_per_thread);
+  std::printf("Eq. 1 (one problem per thread): %.1f GFLOP/s%s\n", eq1.gflops,
+              eq1.fits_in_registers ? "" : "  [tile spills: unreachable]");
+
+  if (n >= 8) {
+    const int threads = model::choose_block_threads(cfg, n, n);
+    const auto blk =
+        model::predict_per_block(cfg, model::BlockAlg::qr, n, n, threads);
+    std::printf("Table VI (one problem per block, %d threads): %.1f GFLOP/s\n",
+                threads, blk.gflops);
+    std::printf("  compute %.0f cycles + load %.0f + store %.0f, %d blocks/SM\n",
+                blk.compute_cycles, blk.load_cycles, blk.store_cycles,
+                blk.blocks_per_sm);
+  }
+  std::printf("dispatch: the library would use the %s approach\n\n",
+              core::to_string(core::choose_approach(cfg, n, n, 1)));
+
+  if (n >= 8) {
+    std::printf("== sensitivity of the per-block prediction ==\n");
+    const int threads = model::choose_block_threads(cfg, n, n);
+    const double base =
+        model::predict_per_block(cfg, model::BlockAlg::qr, n, n, threads).gflops;
+    struct { const char* what; void (*tweak)(simt::DeviceConfig&); } knobs[] = {
+        {"2x registers per thread (128)",
+         [](simt::DeviceConfig& c) { c.max_regs_per_thread = 128;
+                                     c.regfile_words_per_sm *= 2; }},
+        {"half the sync cost",
+         [](simt::DeviceConfig& c) { c.sync_base_cycles /= 2;
+                                     c.sync_cycles_per_warp /= 2; }},
+        {"half the FP pipeline depth (9)",
+         [](simt::DeviceConfig& c) { c.fp_pipeline_cycles = 9; }},
+        {"2x DRAM bandwidth",
+         [](simt::DeviceConfig& c) { c.dram_achievable_gbs *= 2; }},
+    };
+    for (const auto& k : knobs) {
+      auto c = simt::DeviceConfig::quadro6000();
+      k.tweak(c);
+      const double g =
+          model::predict_per_block(c, model::BlockAlg::qr, n, n,
+                                   model::choose_block_threads(c, n, n))
+              .gflops;
+      std::printf("  %-32s %.1f GFLOP/s (%+.0f%%)\n", k.what, g,
+                  100.0 * (g - base) / base);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// MRI-reconstruction-style workload (the paper's introduction motivates
+// batched small factorizations with "up to a billion small (8x8 or 32x32)
+// eigenvalue problems, one for each voxel"): batch-diagonalize one small
+// symmetric matrix per voxel with the per-thread Jacobi eigensolver and
+// pick the dominant eigenvalue per voxel.
+#include <cstdio>
+
+#include "common/generators.h"
+#include "common/rng.h"
+#include "core/core.h"
+
+int main() {
+  using namespace regla;
+  simt::Device dev;
+
+  // A 64 x 64 "image": one 8x8 symmetric (coil-covariance-like) matrix per
+  // voxel, with a low-rank bump in a disk at the center so the output map
+  // has visible structure.
+  const int side = 64, n = 8;
+  const int voxels = side * side;
+  BatchF batch(voxels, n, n);
+  for (int v = 0; v < voxels; ++v) {
+    Rng rng(1234 + v);
+    fill_symmetric(batch.matrix(v), rng);
+    const int x = v % side, y = v / side;
+    const float dx = (x - side / 2) / (side / 4.0f);
+    const float dy = (y - side / 2) / (side / 4.0f);
+    if (dx * dx + dy * dy < 1.0f) {
+      // Rank-1 boost: strong dominant eigenvalue inside the disk.
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) batch.at(v, i, j) += 6.0f;
+    }
+  }
+
+  BatchF ev;
+  const auto r = core::eig_sym_per_thread(dev, batch, ev);
+  std::printf("diagonalized %d %dx%d problems in %.3f ms simulated "
+              "(%.1f GFLOP/s, one problem per thread)\n\n",
+              voxels, n, n, r.launch.seconds * 1e3, r.gflops());
+
+  // ASCII map of the dominant eigenvalue: the disk should stand out.
+  for (int y = 0; y < side; y += 2) {
+    for (int x = 0; x < side; x += 1) {
+      const float lead = ev.at(y * side + x, n - 1, 0);
+      std::putchar(lead > 20.0f ? '#' : (lead > 5.0f ? '+' : '.'));
+    }
+    std::putchar('\n');
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Space-time adaptive processing demo (paper §VII): build a synthetic radar
+// datacube with clutter and two targets, run the STAP pipeline — whose
+// dominant phase is the batch of complex QR factorizations on the GPU — and
+// show the detections.
+#include <algorithm>
+#include <cstdio>
+
+#include "simt/engine.h"
+#include "stap/stap.h"
+
+int main() {
+  using namespace regla;
+  simt::Device dev;
+
+  // An RT_STAP-like geometry: 8 channels x 2 taps = 16 DoF, 80 training
+  // rows -> the paper's 80x16 complex QR shape.
+  stap::StapScenario sc;
+  sc.channels = 8;
+  sc.taps = 2;
+  sc.pulses = 24;
+  sc.ranges = 1024;
+  sc.training_rows = 80;
+  sc.num_matrices = 8;
+  sc.cnr_db = 40.0f;
+
+  // Targets sit at two segments' test gates, off the clutter ridge.
+  const int guard = 2;
+  const int seg_span = sc.training_rows + 2 * guard + 1;
+  auto test_gate = [&](int seg) {
+    return (seg * seg_span) % (sc.ranges - seg_span) + guard + sc.training_rows / 2;
+  };
+  const float nu = 0.28f, omega = -0.21f;
+  std::vector<stap::Target> targets{
+      {test_gate(2), nu, omega, 12.0f},
+      {test_gate(5), nu, omega, 18.0f},
+  };
+
+  std::printf("generating %d x %d x %d datacube (CNR %.0f dB, %zu targets)...\n",
+              sc.channels, sc.pulses, sc.ranges, sc.cnr_db, targets.size());
+  const auto cube = stap::make_datacube(sc, targets);
+
+  const auto rep = stap::run_stap(dev, cube, sc, nu, omega);
+  std::printf("STAP QR batch: %d problems of %dx%d complex, %s approach, "
+              "%.2f ms simulated, %.1f GFLOP/s\n",
+              rep.matrices, rep.m, rep.n, rep.approach, rep.gpu_seconds * 1e3,
+              rep.gpu_gflops);
+  std::printf("adaptive weights (R^H R w = v, batched on GPU): %.3f ms\n",
+              rep.weights_seconds * 1e3);
+
+  // Threshold at 5x the median statistic.
+  std::vector<float> sorted = rep.statistic;
+  std::sort(sorted.begin(), sorted.end());
+  const float threshold = 5.0f * sorted[sorted.size() / 2];
+  std::printf("\n%-8s %-12s %-12s %s\n", "segment", "range gate", "statistic",
+              "detection");
+  for (int s = 0; s < rep.matrices; ++s) {
+    const bool hit = rep.statistic[s] > threshold;
+    std::printf("%-8d %-12d %-12.3f %s\n", s, rep.test_gates[s],
+                rep.statistic[s], hit ? "TARGET" : "-");
+  }
+  return 0;
+}

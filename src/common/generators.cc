@@ -1,0 +1,101 @@
+#include "common/generators.h"
+
+#include <cmath>
+
+namespace regla {
+
+void fill_uniform(MatrixView<float> a, Rng& rng) {
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) a(i, j) = rng.uniform(-1.0f, 1.0f);
+}
+
+void fill_uniform(MatrixView<std::complex<float>> a, Rng& rng) {
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i)
+      a(i, j) = {rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f)};
+}
+
+void fill_diag_dominant(MatrixView<float> a, Rng& rng) {
+  fill_uniform(a, rng);
+  const int n = std::min(a.rows(), a.cols());
+  for (int i = 0; i < n; ++i) {
+    // Row sums are bounded by cols(); a shift of cols()+1 guarantees strict
+    // dominance regardless of the random draw.
+    a(i, i) += (a(i, i) >= 0.0f ? 1.0f : -1.0f) * static_cast<float>(a.cols() + 1);
+  }
+}
+
+void fill_diag_dominant(MatrixView<std::complex<float>> a, Rng& rng) {
+  fill_uniform(a, rng);
+  const int n = std::min(a.rows(), a.cols());
+  for (int i = 0; i < n; ++i) {
+    // Row L1 norms are bounded by 2*cols(); shift the real part well past it.
+    a(i, i) += std::complex<float>(2.0f * a.cols() + 2.0f, 0.0f);
+  }
+}
+
+void fill_graded(MatrixView<float> a, Rng& rng, float decay) {
+  fill_uniform(a, rng);
+  const int n = std::min(a.rows(), a.cols());
+  float scale = 1.0f;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < a.cols(); ++j) a(i, j) *= scale;
+    a(i, i) += scale * static_cast<float>(a.cols() + 1);
+    scale *= decay;
+  }
+}
+
+void fill_symmetric(MatrixView<float> a, Rng& rng) {
+  REGLA_CHECK(a.rows() == a.cols());
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i <= j; ++i) {
+      const float v = rng.uniform(-1.0f, 1.0f);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+}
+
+void fill_hermitian(MatrixView<std::complex<float>> a, Rng& rng) {
+  REGLA_CHECK(a.rows() == a.cols());
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = 0; i < j; ++i) {
+      const std::complex<float> v{rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f)};
+      a(i, j) = v;
+      a(j, i) = std::conj(v);
+    }
+    a(j, j) = {rng.uniform(-1.0f, 1.0f), 0.0f};
+  }
+}
+
+void fill_identity(MatrixView<float> a) {
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) a(i, j) = (i == j) ? 1.0f : 0.0f;
+}
+
+namespace {
+template <typename Batch, typename Fill>
+void fill_batch(Batch& batch, std::uint64_t seed, Fill fill) {
+  for (int k = 0; k < batch.count(); ++k) {
+    Rng rng(seed + 0x51ed2701u * static_cast<std::uint64_t>(k + 1));
+    fill(batch.matrix(k), rng);
+  }
+}
+}  // namespace
+
+void fill_uniform(BatchF& batch, std::uint64_t seed) {
+  fill_batch(batch, seed, [](MatrixView<float> m, Rng& r) { fill_uniform(m, r); });
+}
+void fill_uniform(BatchC& batch, std::uint64_t seed) {
+  fill_batch(batch, seed,
+             [](MatrixView<std::complex<float>> m, Rng& r) { fill_uniform(m, r); });
+}
+void fill_diag_dominant(BatchF& batch, std::uint64_t seed) {
+  fill_batch(batch, seed,
+             [](MatrixView<float> m, Rng& r) { fill_diag_dominant(m, r); });
+}
+void fill_diag_dominant(BatchC& batch, std::uint64_t seed) {
+  fill_batch(batch, seed,
+             [](MatrixView<std::complex<float>> m, Rng& r) { fill_diag_dominant(m, r); });
+}
+
+}  // namespace regla

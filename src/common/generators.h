@@ -1,0 +1,44 @@
+// Test-matrix generators.
+//
+// The paper evaluates LU and Gauss-Jordan without pivoting on diagonally
+// dominant matrices ("the matrices tested were diagonally dominant so no
+// pivoting was necessary"); these generators reproduce that methodology and
+// add a few standard shapes for property tests.
+#pragma once
+
+#include <complex>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace regla {
+
+/// Uniform entries in [-1, 1).
+void fill_uniform(MatrixView<float> a, Rng& rng);
+void fill_uniform(MatrixView<std::complex<float>> a, Rng& rng);
+
+/// Uniform entries plus a diagonal shift that makes the matrix strictly
+/// diagonally dominant (rowwise), so unpivoted LU / Gauss-Jordan are stable.
+void fill_diag_dominant(MatrixView<float> a, Rng& rng);
+void fill_diag_dominant(MatrixView<std::complex<float>> a, Rng& rng);
+
+/// Graded matrix: entry magnitudes decay geometrically down the diagonal,
+/// giving a controlled condition number ~ decay^(n-1).
+void fill_graded(MatrixView<float> a, Rng& rng, float decay);
+
+/// Random symmetric (A = B + B^T).
+void fill_symmetric(MatrixView<float> a, Rng& rng);
+
+/// Random Hermitian (A = B + B^H), as in the MRI eigenproblem motivation.
+void fill_hermitian(MatrixView<std::complex<float>> a, Rng& rng);
+
+/// Identity.
+void fill_identity(MatrixView<float> a);
+
+/// Whole-batch versions with per-problem decorrelated streams.
+void fill_uniform(BatchF& batch, std::uint64_t seed);
+void fill_uniform(BatchC& batch, std::uint64_t seed);
+void fill_diag_dominant(BatchF& batch, std::uint64_t seed);
+void fill_diag_dominant(BatchC& batch, std::uint64_t seed);
+
+}  // namespace regla

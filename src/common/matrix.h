@@ -1,0 +1,143 @@
+// Dense column-major matrix containers.
+//
+// Everything in regla uses LAPACK conventions: column-major storage with an
+// explicit leading dimension, so sub-matrix views are cheap and the CPU
+// substrate's kernels look like the reference algorithms in Demmel's text.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <vector>
+
+#include "common/error.h"
+
+namespace regla {
+
+/// Non-owning view of a column-major matrix block.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, int rows, int cols, int ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    REGLA_CHECK(rows >= 0 && cols >= 0 && ld >= std::max(1, rows));
+  }
+
+  T& operator()(int i, int j) const { return data_[i + static_cast<std::ptrdiff_t>(j) * ld_]; }
+  T* data() const { return data_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int ld() const { return ld_; }
+
+  /// View of the block starting at (i, j) of size r x c.
+  MatrixView block(int i, int j, int r, int c) const {
+    REGLA_CHECK(i >= 0 && j >= 0 && i + r <= rows_ && j + c <= cols_);
+    return MatrixView(data_ + i + static_cast<std::ptrdiff_t>(j) * ld_, r, c, ld_);
+  }
+
+  MatrixView<const T> as_const() const {
+    return MatrixView<const T>(data_, rows_, cols_, ld_);
+  }
+
+  /// Implicit view-of-mutable -> view-of-const, mirroring T* -> const T*.
+  operator MatrixView<const T>() const
+    requires(!std::is_const_v<T>)
+  {
+    return as_const();
+  }
+
+ private:
+  T* data_ = nullptr;
+  int rows_ = 0;
+  int cols_ = 0;
+  int ld_ = 0;
+};
+
+/// Owning column-major matrix.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, init) {
+    REGLA_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  T& operator()(int i, int j) { return data_[i + static_cast<std::size_t>(j) * rows_]; }
+  const T& operator()(int i, int j) const {
+    return data_[i + static_cast<std::size_t>(j) * rows_];
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int ld() const { return rows_; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+  MatrixView<T> view() { return MatrixView<T>(data(), rows_, cols_, rows_); }
+  MatrixView<const T> view() const {
+    return MatrixView<const T>(data(), rows_, cols_, rows_);
+  }
+  MatrixView<T> block(int i, int j, int r, int c) { return view().block(i, j, r, c); }
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// A batch of same-shape matrices stored contiguously (problem-major): matrix
+/// k occupies the k-th rows*cols slab. This is the layout the paper's batched
+/// kernels consume: block b indexes its problem with a single base offset.
+template <typename T>
+class BatchedMatrix {
+ public:
+  BatchedMatrix() = default;
+  BatchedMatrix(int count, int rows, int cols, T init = T{})
+      : count_(count), rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(count) * rows * cols, init) {
+    REGLA_CHECK(count >= 0 && rows >= 0 && cols >= 0);
+  }
+
+  int count() const { return count_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t stride() const { return static_cast<std::size_t>(rows_) * cols_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return size() * sizeof(T); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  MatrixView<T> matrix(int k) {
+    REGLA_CHECK(k >= 0 && k < count_);
+    return MatrixView<T>(data_.data() + k * stride(), rows_, cols_, rows_);
+  }
+  MatrixView<const T> matrix(int k) const {
+    REGLA_CHECK(k >= 0 && k < count_);
+    return MatrixView<const T>(data_.data() + k * stride(), rows_, cols_, rows_);
+  }
+
+  T& at(int k, int i, int j) { return data_[k * stride() + i + static_cast<std::size_t>(j) * rows_]; }
+  const T& at(int k, int i, int j) const {
+    return data_[k * stride() + i + static_cast<std::size_t>(j) * rows_];
+  }
+
+ private:
+  int count_ = 0;
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixC = Matrix<std::complex<float>>;
+using BatchF = BatchedMatrix<float>;
+using BatchC = BatchedMatrix<std::complex<float>>;
+
+}  // namespace regla

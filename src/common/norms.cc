@@ -1,0 +1,145 @@
+#include "common/norms.h"
+
+#include <cmath>
+
+namespace regla {
+
+namespace {
+
+template <typename T>
+double frob_norm_impl(MatrixView<const T> a) {
+  double sum = 0.0;
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) sum += std::norm(std::complex<double>(a(i, j)));
+  return std::sqrt(sum);
+}
+
+double frob_norm_impl_real(MatrixView<const float> a) {
+  double sum = 0.0;
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) sum += static_cast<double>(a(i, j)) * a(i, j);
+  return std::sqrt(sum);
+}
+
+template <typename T>
+float rel_diff_impl(MatrixView<const T> a, MatrixView<const T> b) {
+  REGLA_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double sum = 0.0, ref = 0.0;
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) {
+      const std::complex<double> d =
+          std::complex<double>(a(i, j)) - std::complex<double>(b(i, j));
+      sum += std::norm(d);
+      ref += std::norm(std::complex<double>(b(i, j)));
+    }
+  return static_cast<float>(std::sqrt(sum) / std::max(1.0, std::sqrt(ref)));
+}
+
+template <typename T>
+float orth_impl(MatrixView<const T> q) {
+  // ||Q^H Q - I||_F accumulated in double.
+  double sum = 0.0;
+  for (int j = 0; j < q.cols(); ++j)
+    for (int k = 0; k < q.cols(); ++k) {
+      std::complex<double> dot = 0.0;
+      for (int i = 0; i < q.rows(); ++i)
+        dot += std::conj(std::complex<double>(q(i, j))) * std::complex<double>(q(i, k));
+      if (j == k) dot -= 1.0;
+      sum += std::norm(dot);
+    }
+  return static_cast<float>(std::sqrt(sum));
+}
+
+template <typename T>
+float qr_residual_impl(MatrixView<const T> a, MatrixView<const T> q,
+                       MatrixView<const T> r) {
+  REGLA_CHECK(q.rows() == a.rows() && q.cols() == r.rows() && r.cols() == a.cols());
+  double sum = 0.0, ref = 0.0;
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) {
+      std::complex<double> qr = 0.0;
+      const int kmax = std::min(j + 1, q.cols());  // R upper triangular
+      for (int k = 0; k < kmax; ++k)
+        qr += std::complex<double>(q(i, k)) * std::complex<double>(r(k, j));
+      sum += std::norm(std::complex<double>(a(i, j)) - qr);
+      ref += std::norm(std::complex<double>(a(i, j)));
+    }
+  return static_cast<float>(std::sqrt(sum) / std::max(1e-30, std::sqrt(ref)));
+}
+
+}  // namespace
+
+float frob_norm(MatrixView<const float> a) {
+  return static_cast<float>(frob_norm_impl_real(a));
+}
+float frob_norm(MatrixView<const std::complex<float>> a) {
+  return static_cast<float>(frob_norm_impl(a));
+}
+
+float rel_diff(MatrixView<const float> a, MatrixView<const float> b) {
+  return rel_diff_impl(a, b);
+}
+float rel_diff(MatrixView<const std::complex<float>> a,
+               MatrixView<const std::complex<float>> b) {
+  return rel_diff_impl(a, b);
+}
+
+float orthogonality_error(MatrixView<const float> q) { return orth_impl(q); }
+float orthogonality_error(MatrixView<const std::complex<float>> q) {
+  return orth_impl(q);
+}
+
+float qr_residual(MatrixView<const float> a, MatrixView<const float> q,
+                  MatrixView<const float> r) {
+  return qr_residual_impl(a, q, r);
+}
+float qr_residual(MatrixView<const std::complex<float>> a,
+                  MatrixView<const std::complex<float>> q,
+                  MatrixView<const std::complex<float>> r) {
+  return qr_residual_impl(a, q, r);
+}
+
+float lu_residual(MatrixView<const float> a, MatrixView<const float> lu) {
+  REGLA_CHECK(a.rows() == lu.rows() && a.cols() == lu.cols());
+  const int m = a.rows();
+  const int n = a.cols();
+  double sum = 0.0, ref = 0.0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      double acc = 0.0;
+      // (L U)(i,j) = sum_k L(i,k) U(k,j), L unit lower, U upper.
+      const int kmax = std::min({i, j, n - 1});
+      for (int k = 0; k <= kmax; ++k) {
+        const double l_ik = (k == i) ? 1.0 : static_cast<double>(lu(i, k));
+        acc += l_ik * static_cast<double>(lu(k, j));
+      }
+      sum += (static_cast<double>(a(i, j)) - acc) * (static_cast<double>(a(i, j)) - acc);
+      ref += static_cast<double>(a(i, j)) * a(i, j);
+    }
+  return static_cast<float>(std::sqrt(sum) / std::max(1e-30, std::sqrt(ref)));
+}
+
+float solve_residual(MatrixView<const float> a, MatrixView<const float> x,
+                     MatrixView<const float> b) {
+  REGLA_CHECK(a.cols() == x.rows() && a.rows() == b.rows() && x.cols() == b.cols());
+  double sum = 0.0;
+  double xn = 0.0;
+  for (int j = 0; j < x.cols(); ++j)
+    for (int i = 0; i < x.rows(); ++i) xn += static_cast<double>(x(i, j)) * x(i, j);
+  double bn = 0.0;
+  for (int j = 0; j < b.cols(); ++j)
+    for (int i = 0; i < b.rows(); ++i) bn += static_cast<double>(b(i, j)) * b(i, j);
+  for (int j = 0; j < b.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) {
+      double ax = 0.0;
+      for (int k = 0; k < a.cols(); ++k)
+        ax += static_cast<double>(a(i, k)) * x(k, j);
+      const double r = ax - b(i, j);
+      sum += r * r;
+    }
+  const double denom =
+      static_cast<double>(frob_norm(a)) * std::sqrt(xn) + std::sqrt(bn);
+  return static_cast<float>(std::sqrt(sum) / std::max(1e-30, denom));
+}
+
+}  // namespace regla

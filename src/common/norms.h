@@ -1,0 +1,37 @@
+// Norms and factorization residuals used by tests and EXPERIMENTS.md checks.
+#pragma once
+
+#include <complex>
+
+#include "common/matrix.h"
+
+namespace regla {
+
+float frob_norm(MatrixView<const float> a);
+float frob_norm(MatrixView<const std::complex<float>> a);
+
+/// ||a - b||_F / max(1, ||b||_F)
+float rel_diff(MatrixView<const float> a, MatrixView<const float> b);
+float rel_diff(MatrixView<const std::complex<float>> a,
+               MatrixView<const std::complex<float>> b);
+
+/// ||Q^T Q - I||_F for an m x n Q with orthonormal columns.
+float orthogonality_error(MatrixView<const float> q);
+float orthogonality_error(MatrixView<const std::complex<float>> q);
+
+/// ||A - Q R||_F / ||A||_F where R is upper triangular (upper part of r).
+float qr_residual(MatrixView<const float> a, MatrixView<const float> q,
+                  MatrixView<const float> r);
+float qr_residual(MatrixView<const std::complex<float>> a,
+                  MatrixView<const std::complex<float>> q,
+                  MatrixView<const std::complex<float>> r);
+
+/// ||A - L U||_F / ||A||_F where lu packs unit-lower L and upper U (LAPACK
+/// style, no pivoting).
+float lu_residual(MatrixView<const float> a, MatrixView<const float> lu);
+
+/// ||A x - b||_2 / (||A||_F ||x||_2 + ||b||_2), one column per system.
+float solve_residual(MatrixView<const float> a, MatrixView<const float> x,
+                     MatrixView<const float> b);
+
+}  // namespace regla

@@ -1,0 +1,67 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace regla {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  // splitmix64 to expand the seed into four non-zero lanes.
+  std::uint64_t z = seed;
+  for (int i = 0; i < 4; ++i) {
+    z += 0x9e3779b97f4a7c15ull;
+    std::uint64_t t = z;
+    t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ull;
+    t = (t ^ (t >> 27)) * 0x94d049bb133111ebull;
+    t = t ^ (t >> 31);
+    s_[i] = static_cast<std::uint32_t>(t >> 16) | 1u;
+  }
+  have_cached_ = false;
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint32_t result = rotl(s_[0] + s_[3], 7) + s_[0];
+  const std::uint32_t t = s_[1] << 9;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 11);
+  return result;
+}
+
+float Rng::uniform() {
+  // 24 high bits -> float in [0,1) with full float precision.
+  return static_cast<float>(next_u32() >> 8) * 0x1.0p-24f;
+}
+
+float Rng::normal() {
+  if (have_cached_) {
+    have_cached_ = false;
+    return cached_normal_;
+  }
+  float u1 = uniform();
+  float u2 = uniform();
+  // Guard against log(0).
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  const float theta = 6.2831853071795864769f * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint32_t Rng::below(std::uint32_t n) {
+  // Lemire's multiply-shift rejection-free-enough reduction; bias is
+  // negligible for the ranges used in tests and generators.
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(next_u32()) * n) >> 32);
+}
+
+}  // namespace regla

@@ -1,0 +1,42 @@
+// Deterministic, seedable RNG used everywhere in regla so tests, benches and
+// examples are reproducible bit-for-bit across runs and hosts.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace regla {
+
+/// xoshiro128++ — small, fast, good-quality generator (Blackman & Vigna).
+/// Not cryptographic; plenty for test matrices and synthetic radar data.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 32 random bits.
+  std::uint32_t next_u32();
+
+  /// Uniform in [0, 1).
+  float uniform();
+
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box-Muller (cached second value).
+  float normal();
+
+  /// Complex with independent standard-normal real/imag parts.
+  std::complex<float> cnormal() { return {normal(), normal()}; }
+
+  /// Uniform integer in [0, n).
+  std::uint32_t below(std::uint32_t n);
+
+ private:
+  std::uint32_t s_[4]{};
+  float cached_normal_ = 0.0f;
+  bool have_cached_ = false;
+};
+
+}  // namespace regla

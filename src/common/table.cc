@@ -1,0 +1,81 @@
+#include "common/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace regla {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  REGLA_CHECK(!headers_.empty());
+}
+
+Table& Table::precision(int digits) {
+  precision_ = digits;
+  return *this;
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  REGLA_CHECK_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, expected " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t j = 0; j < headers_.size(); ++j) widths[j] = headers_[j].size();
+  std::vector<std::vector<std::string>> cells(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    cells[i].reserve(headers_.size());
+    for (std::size_t j = 0; j < headers_.size(); ++j) {
+      cells[i].push_back(format(rows_[i][j]));
+      widths[j] = std::max(widths[j], cells[i][j].size());
+    }
+  }
+  os << "\n== " << title << " ==\n";
+  auto rule = [&] {
+    for (std::size_t j = 0; j < widths.size(); ++j)
+      os << "+" << std::string(widths[j] + 2, '-');
+    os << "+\n";
+  };
+  rule();
+  os << "|";
+  for (std::size_t j = 0; j < headers_.size(); ++j)
+    os << " " << std::setw(static_cast<int>(widths[j])) << std::left << headers_[j] << " |";
+  os << "\n";
+  rule();
+  for (const auto& row : cells) {
+    os << "|";
+    for (std::size_t j = 0; j < row.size(); ++j)
+      os << " " << std::setw(static_cast<int>(widths[j])) << std::right << row[j] << " |";
+    os << "\n";
+  }
+  rule();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t j = 0; j < headers_.size(); ++j)
+    os << headers_[j] << (j + 1 < headers_.size() ? "," : "\n");
+  for (const auto& row : rows_)
+    for (std::size_t j = 0; j < row.size(); ++j)
+      os << format(row[j]) << (j + 1 < row.size() ? "," : "\n");
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream f(path);
+  REGLA_CHECK_MSG(f.good(), "cannot open " << path);
+  write_csv(f);
+}
+
+}  // namespace regla

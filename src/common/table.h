@@ -1,0 +1,40 @@
+// Aligned ASCII tables + CSV output for the bench harness, so every bench
+// binary prints the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace regla {
+
+/// Column-oriented table. Values are strings, integers or doubles; doubles
+/// print with a per-table precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& precision(int digits);
+
+  using Cell = std::variant<std::string, long long, double>;
+  void add_row(std::vector<Cell> cells);
+
+  /// Pretty ASCII rendering with a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+  /// Machine-readable CSV (header row + data rows).
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::string format(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace regla

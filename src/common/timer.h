@@ -1,0 +1,22 @@
+// Wall-clock timer for the CPU substrate (the "MKL" comparison point); the
+// GPU side of every experiment is timed in simulated cycles, not wall clock.
+#pragma once
+
+#include <chrono>
+
+namespace regla {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace regla

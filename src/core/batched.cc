@@ -1,0 +1,105 @@
+#include "core/batched.h"
+
+#include "common/error.h"
+
+namespace regla::core {
+
+namespace {
+constexpr int kPerThreadMaxDim = 15;  // paper: "very small problems (n < 16)"
+
+BatchedOutcome from_gpu(Approach a, const GpuBatchResult& r) {
+  return BatchedOutcome{a, r.launch.seconds, r.nominal_flops};
+}
+}  // namespace
+
+Approach choose_approach(const regla::simt::DeviceConfig& cfg, int m, int n,
+                         int words_per_elem) {
+  if (m == n && n <= kPerThreadMaxDim &&
+      n * n * words_per_elem <= simt::kMaxTileElems)
+    return Approach::per_thread;
+  if (fits_one_block(cfg, m, n, words_per_elem)) return Approach::per_block;
+  return Approach::tiled;
+}
+
+BatchedOutcome batched_qr(regla::simt::Device& dev, BatchF& batch, BatchF* taus) {
+  const int m = batch.rows(), n = batch.cols();
+  switch (choose_approach(dev.config(), m, n, 1)) {
+    case Approach::per_thread:
+      return from_gpu(Approach::per_thread, qr_per_thread(dev, batch, taus));
+    case Approach::per_block:
+      return from_gpu(Approach::per_block, qr_per_block(dev, batch, taus));
+    case Approach::tiled: {
+      REGLA_CHECK_MSG(taus == nullptr,
+                      "the tiled QR path retains only R, not the reflectors");
+      BatchF r;
+      const TiledResult t = tiled_qr_r(dev, batch, r);
+      for (int k = 0; k < batch.count(); ++k)
+        for (int j = 0; j < n; ++j)
+          for (int i = 0; i < n; ++i) batch.at(k, i, j) = r.at(k, i, j);
+      return BatchedOutcome{Approach::tiled, t.seconds, t.nominal_flops};
+    }
+  }
+  REGLA_CHECK(false);
+  return {};
+}
+
+BatchedOutcome batched_qr(regla::simt::Device& dev, BatchC& batch, BatchC* taus) {
+  const int m = batch.rows(), n = batch.cols();
+  switch (choose_approach(dev.config(), m, n, 2)) {
+    case Approach::per_thread:
+      // No complex per-thread kernel (the paper's per-thread results are
+      // real); fall through to per-block, which handles any small size.
+    case Approach::per_block:
+      return from_gpu(Approach::per_block, qr_per_block(dev, batch, taus));
+    case Approach::tiled: {
+      REGLA_CHECK_MSG(taus == nullptr,
+                      "the tiled QR path retains only R, not the reflectors");
+      BatchC r;
+      const TiledResult t = tiled_qr_r(dev, batch, r);
+      for (int k = 0; k < batch.count(); ++k)
+        for (int j = 0; j < n; ++j)
+          for (int i = 0; i < n; ++i) batch.at(k, i, j) = r.at(k, i, j);
+      return BatchedOutcome{Approach::tiled, t.seconds, t.nominal_flops};
+    }
+  }
+  REGLA_CHECK(false);
+  return {};
+}
+
+BatchedOutcome batched_lu(regla::simt::Device& dev, BatchF& batch) {
+  const int n = batch.cols();
+  REGLA_CHECK(batch.rows() == n);
+  const Approach a = choose_approach(dev.config(), n, n, 1);
+  REGLA_CHECK_MSG(a != Approach::tiled,
+                  "batched LU supports problems up to one block; n = " << n);
+  if (a == Approach::per_thread)
+    return from_gpu(a, lu_per_thread(dev, batch));
+  return from_gpu(a, lu_per_block(dev, batch));
+}
+
+BatchedOutcome batched_solve(regla::simt::Device& dev, BatchF& a, BatchF& b,
+                             bool stable) {
+  const int n = a.cols();
+  const Approach ap = choose_approach(dev.config(), n, n, 1);
+  REGLA_CHECK_MSG(ap != Approach::tiled,
+                  "batched solve supports problems up to one block; n = " << n);
+  if (ap == Approach::per_thread && !stable)
+    return from_gpu(ap, gj_solve_per_thread(dev, a, b));
+  if (stable) return from_gpu(Approach::per_block, qr_solve_per_block(dev, a, b));
+  return from_gpu(Approach::per_block, gj_solve_per_block(dev, a, b));
+}
+
+BatchedOutcome batched_least_squares(regla::simt::Device& dev, BatchF& a,
+                                     BatchF& b) {
+  if (!fits_one_block(dev.config(), a.rows(), a.cols() + 1, 1)) {
+    // Too tall for one block: TSQR chain with the RHS carried through.
+    BatchF x;
+    const TiledResult t = tiled_least_squares(dev, a, b, x);
+    for (int k = 0; k < b.count(); ++k)
+      for (int i = 0; i < a.cols(); ++i) b.at(k, i, 0) = x.at(k, i, 0);
+    return BatchedOutcome{Approach::tiled, t.seconds, t.nominal_flops};
+  }
+  return from_gpu(Approach::per_block, ls_per_block(dev, a, b));
+}
+
+}  // namespace regla::core

@@ -1,0 +1,64 @@
+// regla's top-level batched API: picks the paper's approach automatically.
+//
+//   n < 16            -> one problem per thread  (§IV)
+//   fits one block    -> one problem per block   (§V)
+//   taller than that  -> sequential tiled QR     (§VII)
+//
+// "Very small problems (e.g. n < 16) can be efficiently solved by assigning
+//  one problem per thread... For larger problems it makes sense to assign an
+//  entire thread block to a single problem... Tiled algorithms can be used to
+//  solve problems that are too large to fit in a single thread block's
+//  register file." (paper §VIII)
+#pragma once
+
+#include "core/per_block.h"
+#include "core/per_thread.h"
+#include "core/tiled_qr.h"
+
+namespace regla::core {
+
+enum class Approach { per_thread, per_block, tiled };
+
+inline const char* to_string(Approach a) {
+  switch (a) {
+    case Approach::per_thread: return "per_thread";
+    case Approach::per_block: return "per_block";
+    case Approach::tiled: return "tiled";
+  }
+  return "?";
+}
+
+/// The dispatch rule, exposed so callers and benches can reason about it.
+Approach choose_approach(const regla::simt::DeviceConfig& cfg, int m, int n,
+                         int words_per_elem = 1);
+
+struct BatchedOutcome {
+  Approach approach = Approach::per_thread;
+  double seconds = 0;
+  double nominal_flops = 0;
+  double gflops() const { return seconds > 0 ? nominal_flops / seconds / 1e9 : 0; }
+};
+
+/// QR factorization of the whole batch in place. For the tiled path only the
+/// R factors are retained (written back into the leading n x n block of each
+/// problem; below-diagonal contents unspecified) and taus is not produced.
+BatchedOutcome batched_qr(regla::simt::Device& dev, BatchF& batch,
+                          BatchF* taus = nullptr);
+BatchedOutcome batched_qr(regla::simt::Device& dev, BatchC& batch,
+                          BatchC* taus = nullptr);
+
+/// Unpivoted LU (square problems that fit at most one block).
+BatchedOutcome batched_lu(regla::simt::Device& dev, BatchF& batch);
+
+/// Solve A_k x_k = b_k. `stable` = QR path; otherwise Gauss-Jordan (faster,
+/// no pivoting — inputs should be diagonally dominant, as in the paper).
+BatchedOutcome batched_solve(regla::simt::Device& dev, BatchF& a, BatchF& b,
+                             bool stable = true);
+
+/// Least squares for tall problems: per-block while [A | b] fits one block's
+/// register file, TSQR-chained (tiled) beyond. x_k lands in the first n
+/// entries of b_k either way.
+BatchedOutcome batched_least_squares(regla::simt::Device& dev, BatchF& a,
+                                     BatchF& b);
+
+}  // namespace regla::core

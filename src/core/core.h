@@ -1,0 +1,12 @@
+// Umbrella header for regla's core library: batched small dense linear
+// algebra on the (simulated) GPU — the paper's primary contribution.
+#pragma once
+
+#include "core/batched.h"     // IWYU pragma: export
+#include "core/eig_jacobi.h"  // IWYU pragma: export
+#include "core/gemm_block.h"  // IWYU pragma: export
+#include "core/layout.h"      // IWYU pragma: export
+#include "core/per_block.h"   // IWYU pragma: export
+#include "core/per_block_ext.h"  // IWYU pragma: export
+#include "core/per_thread.h"  // IWYU pragma: export
+#include "core/tiled_qr.h"    // IWYU pragma: export

@@ -1,0 +1,19 @@
+// Batched one-problem-per-block GEMM with a 2D register layout for C —
+// the same register-blocking idea the paper points to in MAGMA's Fermi GEMM
+// (§V-A). Used by the speech-recognition example (thousands of 79 x 16
+// observation-probability multiplies) and as a building block for ablations.
+#pragma once
+
+#include "common/matrix.h"
+#include "core/per_thread.h"  // GpuBatchResult
+#include "simt/engine.h"
+
+namespace regla::core {
+
+/// C_k = A_k * B_k for every problem k; A is m x kk, B is kk x n, C is m x n.
+/// Each block streams A columns / B rows through shared memory while C lives
+/// in the block's distributed register file.
+GpuBatchResult gemm_per_block(regla::simt::Device& dev, const BatchF& a,
+                              const BatchF& b, BatchF& c, int threads = 0);
+
+}  // namespace regla::core

@@ -1,0 +1,66 @@
+// Distributed register-file data layouts for one-problem-per-block kernels
+// (paper §V-A, Fig. 6): 2D cyclic, 1D row cyclic, 1D column cyclic.
+//
+// A thread block is "essentially a distributed system": each thread's
+// register file is private memory, and the layout decides which matrix
+// entries each thread owns. 2D cyclic arranges p threads in a sqrt(p) x
+// sqrt(p) grid with entry (i, j) owned by thread (i mod r, j mod r).
+#pragma once
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace regla::core {
+
+enum class Layout { cyclic2d, row1d, col1d };
+
+inline const char* to_string(Layout l) {
+  switch (l) {
+    case Layout::cyclic2d: return "2d_cyclic";
+    case Layout::row1d: return "1d_row_cyclic";
+    case Layout::col1d: return "1d_col_cyclic";
+  }
+  return "?";
+}
+
+/// Geometry of the 2D cyclic layout for a block of p threads (p must be a
+/// perfect square) over an m x n matrix.
+struct Grid2D {
+  int rdim;  ///< sqrt(p): grid extent in both dimensions
+  int trow;  ///< this thread's row coordinate (tid % rdim)
+  int tcol;  ///< this thread's column coordinate (tid / rdim)
+  int hreg;  ///< register tile height: ceil(m / rdim)
+  int wreg;  ///< register tile width:  ceil(n / rdim)
+
+  Grid2D(int tid, int p, int m, int n) {
+    rdim = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+    REGLA_CHECK_MSG(rdim * rdim == p, "2D layout needs a square thread count, got " << p);
+    trow = tid % rdim;
+    tcol = tid / rdim;
+    hreg = (m + rdim - 1) / rdim;
+    wreg = (n + rdim - 1) / rdim;
+  }
+
+  /// Global row index of local tile row ii (may exceed m for ragged edges).
+  int grow(int ii) const { return trow + ii * rdim; }
+  /// Global column index of local tile column jj.
+  int gcol(int jj) const { return tcol + jj * rdim; }
+  /// Does this thread own global entry (i, j)?
+  bool owns(int i, int j) const { return i % rdim == trow && j % rdim == tcol; }
+  /// Local tile coordinates of a global entry this thread owns.
+  int lrow(int i) const { return i / rdim; }
+  int lcol(int j) const { return j / rdim; }
+  /// First local row whose global index is >= i.
+  int lrow_from(int i) const { return (i - trow + rdim - 1) / rdim; }
+  int lcol_from(int j) const { return (j - tcol + rdim - 1) / rdim; }
+};
+
+/// Registers per thread a 2D-cyclic kernel needs for its tile plus
+/// bookkeeping; feeds the occupancy calculator and matches what RegTile
+/// charges as spill.
+inline int regs_for_tile(int hreg, int wreg, int words_per_elem, int overhead) {
+  return hreg * wreg * words_per_elem + overhead;
+}
+
+}  // namespace regla::core

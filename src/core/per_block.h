@@ -1,0 +1,58 @@
+// One-problem-per-block drivers (paper §V): each thread block owns one
+// matrix, held in a distributed register-file layout, with shared memory as
+// the communication fabric.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/layout.h"
+#include "core/per_thread.h"  // GpuBatchResult
+#include "simt/engine.h"
+
+namespace regla::core {
+
+/// Knobs for per-block launches. threads == 0 picks the paper's policy
+/// (64 while tiles fit, 256 beyond — see model::choose_block_threads).
+struct BlockOptions {
+  int threads = 0;
+  Layout layout = Layout::cyclic2d;
+};
+
+/// Householder QR of every m x n (m >= n) matrix in place: R on/above the
+/// diagonal, reflector vectors below, taus optionally exported.
+GpuBatchResult qr_per_block(regla::simt::Device& dev, BatchF& batch,
+                            BatchF* taus = nullptr, BlockOptions opt = {});
+
+/// Complex QR (the STAP workload of §VII).
+GpuBatchResult qr_per_block(regla::simt::Device& dev, BatchC& batch,
+                            BatchC* taus = nullptr, BlockOptions opt = {});
+
+/// Solve A_k x_k = b_k via QR of [A | b] plus back-substitution (the
+/// "QR solve" of Figs. 7 and 12). All three layouts supported.
+GpuBatchResult qr_solve_per_block(regla::simt::Device& dev, BatchF& a,
+                                  BatchF& b, BlockOptions opt = {});
+
+/// Unpivoted LU in place. 2D layout only.
+GpuBatchResult lu_per_block(regla::simt::Device& dev, BatchF& batch,
+                            std::vector<int>* notsolved = nullptr,
+                            BlockOptions opt = {});
+
+/// Gauss-Jordan solve; b overwritten with x, A destroyed. 2D layout only.
+GpuBatchResult gj_solve_per_block(regla::simt::Device& dev, BatchF& a, BatchF& b,
+                                  std::vector<int>* notsolved = nullptr,
+                                  BlockOptions opt = {});
+
+/// Least squares min ||A x - b|| for tall problems (m > n): QR of [A | b],
+/// back-substitution on the leading n x n triangle; x_k lands in the first
+/// n entries of b_k.
+GpuBatchResult ls_per_block(regla::simt::Device& dev, BatchF& a, BatchF& b,
+                            BlockOptions opt = {});
+
+/// Registers per thread a 2D per-block kernel of this shape needs (for
+/// occupancy / spill reasoning and the benches' reporting).
+int per_block_regs(const regla::simt::DeviceConfig& cfg, int m, int naug,
+                   int threads, int words_per_elem = 1);
+
+}  // namespace regla::core

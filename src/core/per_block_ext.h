@@ -1,0 +1,43 @@
+// Extension drivers beyond the paper's kernel set (see
+// detail/ext_block_kernels.h): partial-pivoting LU, Cholesky, and the
+// batched normal-equations solve that closes the STAP weight chain on GPU.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/per_thread.h"  // GpuBatchResult
+#include "simt/engine.h"
+
+namespace regla::core {
+
+/// Lower Cholesky of every SPD matrix in place (L in the lower triangle).
+GpuBatchResult cholesky_per_block(regla::simt::Device& dev, BatchF& batch,
+                                  std::vector<int>* notspd = nullptr,
+                                  int threads = 0);
+
+/// Partial-pivoting LU (sgetrf conventions): pivots out per problem.
+GpuBatchResult lu_pivot_per_block(regla::simt::Device& dev, BatchF& batch,
+                                  BatchedMatrix<int>* pivots = nullptr,
+                                  std::vector<int>* singular = nullptr,
+                                  int threads = 0);
+
+/// Solve (R^H R) w_k = v_k for every problem, given the R factors of a
+/// batched QR (upper triangles of `r`). This is the sample-covariance
+/// weight solve of STAP (§VII) kept on the GPU.
+GpuBatchResult normal_eq_solve_per_block(regla::simt::Device& dev,
+                                         const BatchF& r, const BatchF& v,
+                                         BatchF& w, int threads = 0);
+GpuBatchResult normal_eq_solve_per_block(regla::simt::Device& dev,
+                                         const BatchC& r, const BatchC& v,
+                                         BatchC& w, int threads = 0);
+
+/// b_k := Q_k^H b_k from a packed QR (qr_per_block output + taus): the
+/// factor-once / solve-many path. Pair with normal_eq or a triangular solve.
+GpuBatchResult apply_qt_per_block(regla::simt::Device& dev, const BatchF& qr,
+                                  const BatchF& taus, BatchF& b, int threads = 0);
+GpuBatchResult apply_qt_per_block(regla::simt::Device& dev, const BatchC& qr,
+                                  const BatchC& taus, BatchC& b, int threads = 0);
+
+}  // namespace regla::core

@@ -1,0 +1,41 @@
+// One-problem-per-thread kernels (paper §IV): for very small problems
+// (n < 16) every thread loads one whole matrix into its register file and
+// factors it serially; there is no communication between threads.
+//
+// Output conventions match the CPU reference (LAPACK style): QR leaves R on
+// and above the diagonal and the Householder vectors (unit leading element
+// implied) below it, with the scalar tau factors in a separate batch; LU
+// leaves unit-lower L below and U on/above the diagonal; Gauss-Jordan solves
+// [A | b] in place.
+#pragma once
+
+#include "common/matrix.h"
+#include "simt/engine.h"
+
+namespace regla::core {
+
+/// Result of running a batched kernel on the simulated GPU.
+struct GpuBatchResult {
+  regla::simt::LaunchResult launch;
+  double nominal_flops = 0;
+  double gflops() const { return launch.gflops(nominal_flops); }
+};
+
+/// Threads per block used by the per-thread drivers (one problem per thread,
+/// so blocks are just bundles of independent problems).
+inline constexpr int kPerThreadBlockSize = 256;
+
+/// QR-factor every n x n matrix of the batch in place; taus (if non-null)
+/// receives the n reflector scalars per problem.
+GpuBatchResult qr_per_thread(regla::simt::Device& dev, BatchF& batch,
+                             BatchF* taus = nullptr);
+
+/// Unpivoted LU in place.
+GpuBatchResult lu_per_thread(regla::simt::Device& dev, BatchF& batch);
+
+/// Gauss-Jordan solve (no pivoting): b_k (n x 1) overwritten with x_k, A_k
+/// destroyed. `flags` (if non-null) gets 1 per unsolved (zero-pivot) system.
+GpuBatchResult gj_solve_per_thread(regla::simt::Device& dev, BatchF& a,
+                                   BatchF& b, std::vector<int>* flags = nullptr);
+
+}  // namespace regla::core

@@ -1,0 +1,47 @@
+// Sequential tiled QR for problems too tall for one block's register file
+// (paper §VII: "the larger size does not fit in a single thread block so we
+// employ a sequential tiled QR factorization algorithm similar to the
+// approach in the PLASMA multicore linear algebra library").
+//
+// Implementation: a TSQR-style chain per problem. The first tile (as many
+// rows as fit a block with n columns) is QR-factored per-block; each
+// subsequent step stacks [R; next_tile] and re-factors. Only R survives (the
+// reflectors of intermediate steps are discarded), which is what the STAP
+// pipeline consumes. Stacking happens in device global memory; the simulated
+// kernels pay the full DRAM traffic of re-reading R each step — this is part
+// of why the paper reports the 240 x 66 case running "somewhat more slowly".
+#pragma once
+
+#include "common/matrix.h"
+#include "core/per_thread.h"  // GpuBatchResult
+#include "simt/engine.h"
+
+namespace regla::core {
+
+struct TiledResult {
+  double seconds = 0;       ///< summed simulated time over all steps
+  double chip_cycles = 0;
+  double nominal_flops = 0; ///< paper formula for the full m x n problem
+  int steps = 0;            ///< number of per-block launches
+  int tile_rows = 0;        ///< rows consumed per step after the first
+  double gflops() const { return seconds > 0 ? nominal_flops / seconds / 1e9 : 0; }
+};
+
+/// Whether an m x n problem fits a single block's register file under the
+/// paper's 64-register budget (with the kernel's bookkeeping overhead).
+bool fits_one_block(const regla::simt::DeviceConfig& cfg, int m, int n,
+                    int words_per_elem);
+
+/// R factors of every matrix in the batch: out_r (n x n per problem, upper
+/// triangular; zero below). The batch itself is left unspecified.
+TiledResult tiled_qr_r(regla::simt::Device& dev, BatchF& batch, BatchF& out_r);
+TiledResult tiled_qr_r(regla::simt::Device& dev, BatchC& batch, BatchC& out_r);
+
+/// Least squares min ||A x - b|| for problems too tall for one block: the
+/// same TSQR chain carrying Q^H b through each step (augmented column), with
+/// the final step back-substituting. x is n x 1 per problem; a and b are
+/// consumed.
+TiledResult tiled_least_squares(regla::simt::Device& dev, BatchF& a, BatchF& b,
+                                BatchF& x);
+
+}  // namespace regla::core

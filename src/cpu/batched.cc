@@ -1,0 +1,80 @@
+#include "cpu/batched.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "cpu/gauss_jordan.h"
+#include "cpu/lu.h"
+#include "cpu/qr.h"
+
+namespace regla::cpu {
+
+namespace {
+template <typename Fn>
+BatchTiming timed_parallel(ThreadPool& pool, int count, Fn&& fn) {
+  WallTimer timer;
+  pool.parallel_for(count, fn);
+  return BatchTiming{timer.seconds()};
+}
+}  // namespace
+
+BatchTiming batched_qr(BatchedMatrix<float>& batch, ThreadPool& pool) {
+  return timed_parallel(pool, batch.count(), [&](int k) {
+    std::vector<float> tau;
+    qr_factor(batch.matrix(k), tau);
+  });
+}
+
+BatchTiming batched_qr(BatchedMatrix<std::complex<float>>& batch, ThreadPool& pool) {
+  return timed_parallel(pool, batch.count(), [&](int k) {
+    std::vector<std::complex<float>> tau;
+    qr_factor(batch.matrix(k), tau);
+  });
+}
+
+BatchTiming batched_lu(BatchedMatrix<float>& batch, bool pivot, ThreadPool& pool) {
+  return timed_parallel(pool, batch.count(), [&](int k) {
+    if (pivot) {
+      std::vector<int> piv;
+      REGLA_CHECK_MSG(lu_pivot(batch.matrix(k), piv), "singular matrix " << k);
+    } else {
+      REGLA_CHECK_MSG(lu_nopivot(batch.matrix(k)), "zero pivot in matrix " << k);
+    }
+  });
+}
+
+BatchTiming batched_solve_qr(BatchedMatrix<float>& a, BatchedMatrix<float>& b,
+                             ThreadPool& pool) {
+  REGLA_CHECK(a.count() == b.count() && a.rows() == b.rows());
+  return timed_parallel(pool, a.count(), [&](int k) {
+    auto ak = a.matrix(k);
+    auto bk = b.matrix(k);
+    std::vector<float> tau;
+    qr_factor(ak, tau);
+    qr_apply_qt(ak.as_const(), tau, bk);
+    auto xk = bk.block(0, 0, a.cols(), bk.cols());
+    strsm_upper_left(ak.as_const(), xk);
+  });
+}
+
+BatchTiming batched_solve_gj(BatchedMatrix<float>& a, BatchedMatrix<float>& b,
+                             bool pivot, ThreadPool& pool) {
+  REGLA_CHECK(a.count() == b.count() && a.rows() == b.rows());
+  return timed_parallel(pool, a.count(), [&](int k) {
+    const bool ok = pivot ? gauss_jordan_solve_pivot(a.matrix(k), b.matrix(k))
+                          : gauss_jordan_solve(a.matrix(k), b.matrix(k));
+    REGLA_CHECK_MSG(ok, "zero pivot in system " << k);
+  });
+}
+
+BatchTiming batched_least_squares(BatchedMatrix<float>& a, BatchedMatrix<float>& b,
+                                  BatchedMatrix<float>& x, ThreadPool& pool) {
+  REGLA_CHECK(a.count() == b.count() && a.count() == x.count());
+  REGLA_CHECK(a.rows() == b.rows() && x.rows() == a.cols());
+  return timed_parallel(pool, a.count(), [&](int k) {
+    qr_least_squares(a.matrix(k), b.matrix(k), x.matrix(k));
+  });
+}
+
+}  // namespace regla::cpu

@@ -1,0 +1,43 @@
+// Batched CPU drivers — the "MKL on a multicore CPU" comparison point of
+// Figs. 11-12 and Table VII: each problem solved by the LAPACK-style worker,
+// problems distributed across cores by the thread pool.
+#pragma once
+
+#include "common/matrix.h"
+#include "cpu/thread_pool.h"
+
+namespace regla::cpu {
+
+struct BatchTiming {
+  double seconds = 0;
+  double gflops(double nominal_flops) const {
+    return seconds > 0 ? nominal_flops / seconds / 1e9 : 0;
+  }
+};
+
+/// QR-factor every matrix of the batch in place (taus discarded).
+BatchTiming batched_qr(BatchedMatrix<float>& batch,
+                       ThreadPool& pool = ThreadPool::global());
+BatchTiming batched_qr(BatchedMatrix<std::complex<float>>& batch,
+                       ThreadPool& pool = ThreadPool::global());
+
+/// LU-factor every matrix in place. `pivot` selects sgetrf-style partial
+/// pivoting (what MKL does) or the unpivoted variant.
+BatchTiming batched_lu(BatchedMatrix<float>& batch, bool pivot,
+                       ThreadPool& pool = ThreadPool::global());
+
+/// Solve A_k x_k = b_k for every k via QR (stable path for square systems).
+BatchTiming batched_solve_qr(BatchedMatrix<float>& a, BatchedMatrix<float>& b,
+                             ThreadPool& pool = ThreadPool::global());
+
+/// Solve via Gauss-Jordan (optionally pivoted).
+BatchTiming batched_solve_gj(BatchedMatrix<float>& a, BatchedMatrix<float>& b,
+                             bool pivot, ThreadPool& pool = ThreadPool::global());
+
+/// Least squares per problem: a is m x n (destroyed), b is m x 1 (destroyed),
+/// x is n x 1 output.
+BatchTiming batched_least_squares(BatchedMatrix<float>& a, BatchedMatrix<float>& b,
+                                  BatchedMatrix<float>& x,
+                                  ThreadPool& pool = ThreadPool::global());
+
+}  // namespace regla::cpu

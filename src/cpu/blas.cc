@@ -1,0 +1,172 @@
+#include "cpu/blas.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace regla::cpu {
+
+float snrm2(int n, const float* x, int incx) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = x[static_cast<std::ptrdiff_t>(i) * incx];
+    sum += v * v;
+  }
+  return static_cast<float>(std::sqrt(sum));
+}
+
+float scnrm2(int n, const cfloat* x, int incx) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const cfloat v = x[static_cast<std::ptrdiff_t>(i) * incx];
+    sum += static_cast<double>(v.real()) * v.real() +
+           static_cast<double>(v.imag()) * v.imag();
+  }
+  return static_cast<float>(std::sqrt(sum));
+}
+
+void sscal(int n, float a, float* x, int incx) {
+  for (int i = 0; i < n; ++i) x[static_cast<std::ptrdiff_t>(i) * incx] *= a;
+}
+
+void csscal(int n, float a, cfloat* x, int incx) {
+  for (int i = 0; i < n; ++i) x[static_cast<std::ptrdiff_t>(i) * incx] *= a;
+}
+
+void saxpy(int n, float a, const float* x, int incx, float* y, int incy) {
+  for (int i = 0; i < n; ++i)
+    y[static_cast<std::ptrdiff_t>(i) * incy] +=
+        a * x[static_cast<std::ptrdiff_t>(i) * incx];
+}
+
+float sdot(int n, const float* x, int incx, const float* y, int incy) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i)
+    sum += static_cast<double>(x[static_cast<std::ptrdiff_t>(i) * incx]) *
+           y[static_cast<std::ptrdiff_t>(i) * incy];
+  return static_cast<float>(sum);
+}
+
+cfloat cdotc(int n, const cfloat* x, int incx, const cfloat* y, int incy) {
+  std::complex<double> sum = 0.0;
+  for (int i = 0; i < n; ++i)
+    sum += std::conj(std::complex<double>(x[static_cast<std::ptrdiff_t>(i) * incx])) *
+           std::complex<double>(y[static_cast<std::ptrdiff_t>(i) * incy]);
+  return {static_cast<float>(sum.real()), static_cast<float>(sum.imag())};
+}
+
+void sgemv(char trans, float alpha, MatrixView<const float> a, const float* x,
+           float beta, float* y) {
+  const int m = a.rows(), n = a.cols();
+  if (trans == 'N' || trans == 'n') {
+    for (int i = 0; i < m; ++i) y[i] *= beta;
+    for (int j = 0; j < n; ++j) {
+      const float axj = alpha * x[j];
+      for (int i = 0; i < m; ++i) y[i] += axj * a(i, j);
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int i = 0; i < m; ++i) acc += a(i, j) * x[i];
+      y[j] = alpha * acc + beta * y[j];
+    }
+  }
+}
+
+void sger(float alpha, const float* x, const float* y, MatrixView<float> a) {
+  const int m = a.rows(), n = a.cols();
+  for (int j = 0; j < n; ++j) {
+    const float ayj = alpha * y[j];
+    for (int i = 0; i < m; ++i) a(i, j) += x[i] * ayj;
+  }
+}
+
+void cgerc(cfloat alpha, const cfloat* x, const cfloat* y, MatrixView<cfloat> a) {
+  const int m = a.rows(), n = a.cols();
+  for (int j = 0; j < n; ++j) {
+    const cfloat ayj = alpha * std::conj(y[j]);
+    for (int i = 0; i < m; ++i) a(i, j) += x[i] * ayj;
+  }
+}
+
+void cgemv_conj(cfloat alpha, MatrixView<const cfloat> a, const cfloat* x,
+                cfloat beta, cfloat* y) {
+  const int m = a.rows(), n = a.cols();
+  for (int j = 0; j < n; ++j) {
+    cfloat acc = 0.0f;
+    for (int i = 0; i < m; ++i) acc += std::conj(a(i, j)) * x[i];
+    y[j] = alpha * acc + beta * y[j];
+  }
+}
+
+void sgemm(char transa, char transb, float alpha, MatrixView<const float> a,
+           MatrixView<const float> b, float beta, MatrixView<float> c) {
+  const bool ta = (transa == 'T' || transa == 't');
+  const bool tb = (transb == 'T' || transb == 't');
+  const int m = c.rows(), n = c.cols();
+  const int k = ta ? a.rows() : a.cols();
+  REGLA_CHECK((ta ? a.cols() : a.rows()) == m);
+  REGLA_CHECK((tb ? b.rows() : b.cols()) == n);
+  REGLA_CHECK((tb ? b.cols() : b.rows()) == k);
+
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) c(i, j) *= beta;
+
+  // Column-major friendly loop order; the jki order streams down columns of
+  // C and A for the common N,N case.
+  if (!ta && !tb) {
+    for (int j = 0; j < n; ++j)
+      for (int l = 0; l < k; ++l) {
+        const float blj = alpha * b(l, j);
+        if (blj == 0.0f) continue;
+        for (int i = 0; i < m; ++i) c(i, j) += a(i, l) * blj;
+      }
+  } else if (ta && !tb) {
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i) {
+        float acc = 0.0f;
+        for (int l = 0; l < k; ++l) acc += a(l, i) * b(l, j);
+        c(i, j) += alpha * acc;
+      }
+  } else if (!ta && tb) {
+    for (int j = 0; j < n; ++j)
+      for (int l = 0; l < k; ++l) {
+        const float blj = alpha * b(j, l);
+        if (blj == 0.0f) continue;
+        for (int i = 0; i < m; ++i) c(i, j) += a(i, l) * blj;
+      }
+  } else {
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i) {
+        float acc = 0.0f;
+        for (int l = 0; l < k; ++l) acc += a(l, i) * b(j, l);
+        c(i, j) += alpha * acc;
+      }
+  }
+}
+
+void strsm_upper_left(MatrixView<const float> u, MatrixView<float> x) {
+  const int n = x.rows();
+  REGLA_CHECK(u.rows() >= n && u.cols() >= n);
+  for (int col = 0; col < x.cols(); ++col) {
+    for (int i = n - 1; i >= 0; --i) {
+      float acc = x(i, col);
+      for (int k = i + 1; k < n; ++k) acc -= u(i, k) * x(k, col);
+      x(i, col) = acc / u(i, i);
+    }
+  }
+}
+
+void strsm_unit_lower_left(MatrixView<const float> l, MatrixView<float> x) {
+  const int n = x.rows();
+  REGLA_CHECK(l.rows() >= n && l.cols() >= n);
+  for (int col = 0; col < x.cols(); ++col) {
+    for (int i = 0; i < n; ++i) {
+      float acc = x(i, col);
+      for (int k = 0; k < i; ++k) acc -= l(i, k) * x(k, col);
+      x(i, col) = acc;
+    }
+  }
+}
+
+}  // namespace regla::cpu

@@ -1,0 +1,48 @@
+// Minimal BLAS subset used by the CPU substrate: enough to write blocked
+// factorizations the way LAPACK does. Single precision real and complex.
+#pragma once
+
+#include <complex>
+
+#include "common/matrix.h"
+
+namespace regla::cpu {
+
+using cfloat = std::complex<float>;
+
+// --- level 1 ---------------------------------------------------------------
+float snrm2(int n, const float* x, int incx);
+float scnrm2(int n, const cfloat* x, int incx);
+void sscal(int n, float a, float* x, int incx);
+void csscal(int n, float a, cfloat* x, int incx);
+void saxpy(int n, float a, const float* x, int incx, float* y, int incy);
+float sdot(int n, const float* x, int incx, const float* y, int incy);
+/// conj(x) . y
+cfloat cdotc(int n, const cfloat* x, int incx, const cfloat* y, int incy);
+
+// --- level 2 ---------------------------------------------------------------
+/// y = alpha * op(A) x + beta * y, op in {N, T}.
+void sgemv(char trans, float alpha, MatrixView<const float> a, const float* x,
+           float beta, float* y);
+/// A += alpha * x y^T
+void sger(float alpha, const float* x, const float* y, MatrixView<float> a);
+/// A += alpha * x y^H
+void cgerc(cfloat alpha, const cfloat* x, const cfloat* y, MatrixView<cfloat> a);
+/// y = alpha * A^H x + beta * y
+void cgemv_conj(cfloat alpha, MatrixView<const cfloat> a, const cfloat* x,
+                cfloat beta, cfloat* y);
+
+// --- level 3 ---------------------------------------------------------------
+/// C = alpha * op(A) op(B) + beta * C, op in {N, T}. Blocked & unrolled for
+/// the trailing updates in the hybrid baseline.
+void sgemm(char transa, char transb, float alpha, MatrixView<const float> a,
+           MatrixView<const float> b, float beta, MatrixView<float> c);
+
+/// Triangular solve X := inv(U) X with U the upper triangle of `u` (left
+/// side, no transpose, non-unit diagonal) — what back-substitution needs.
+void strsm_upper_left(MatrixView<const float> u, MatrixView<float> x);
+
+/// X := inv(L) X with L the *unit* lower triangle of `l`.
+void strsm_unit_lower_left(MatrixView<const float> l, MatrixView<float> x);
+
+}  // namespace regla::cpu

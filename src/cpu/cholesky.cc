@@ -1,0 +1,45 @@
+#include "cpu/cholesky.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace regla::cpu {
+
+bool cholesky(MatrixView<float> a) {
+  const int n = a.rows();
+  REGLA_CHECK(a.cols() == n);
+  for (int c = 0; c < n; ++c) {
+    float d = a(c, c);
+    for (int k = 0; k < c; ++k) d -= a(c, k) * a(c, k);
+    if (d <= 0.0f) return false;
+    const float l = std::sqrt(d);
+    a(c, c) = l;
+    const float inv = 1.0f / l;
+    for (int i = c + 1; i < n; ++i) {
+      float v = a(i, c);
+      for (int k = 0; k < c; ++k) v -= a(i, k) * a(c, k);
+      a(i, c) = v * inv;
+    }
+  }
+  return true;
+}
+
+void cholesky_solve(MatrixView<const float> l, MatrixView<float> b) {
+  const int n = l.rows();
+  REGLA_CHECK(b.rows() == n);
+  for (int col = 0; col < b.cols(); ++col) {
+    for (int i = 0; i < n; ++i) {
+      float acc = b(i, col);
+      for (int k = 0; k < i; ++k) acc -= l(i, k) * b(k, col);
+      b(i, col) = acc / l(i, i);
+    }
+    for (int i = n - 1; i >= 0; --i) {
+      float acc = b(i, col);
+      for (int k = i + 1; k < n; ++k) acc -= l(k, i) * b(k, col);
+      b(i, col) = acc / l(i, i);
+    }
+  }
+}
+
+}  // namespace regla::cpu

@@ -1,0 +1,20 @@
+// Cholesky factorization on the CPU (reference for the GPU kernels).
+// The paper rejects Cholesky *QR* for stability, but plain Cholesky of an
+// SPD matrix is the standard fast path for normal-equations and covariance
+// solves (exactly the STAP weight computation R^H R w = v).
+#pragma once
+
+#include "common/matrix.h"
+
+namespace regla::cpu {
+
+/// In-place lower Cholesky: A = L L^T, L in the lower triangle (the strict
+/// upper triangle is left untouched). Returns false if A is not positive
+/// definite (non-positive pivot).
+bool cholesky(MatrixView<float> a);
+
+/// Solve A x = b from a Cholesky factor (forward + back substitution);
+/// b is overwritten with x.
+void cholesky_solve(MatrixView<const float> l, MatrixView<float> b);
+
+}  // namespace regla::cpu

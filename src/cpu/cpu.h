@@ -1,0 +1,11 @@
+// Umbrella header for the CPU substrate (the "Intel MKL on a Core i7-2600"
+// stand-in, and the numerical reference for every GPU kernel).
+#pragma once
+
+#include "cpu/batched.h"       // IWYU pragma: export
+#include "cpu/blas.h"          // IWYU pragma: export
+#include "cpu/cholesky.h"      // IWYU pragma: export
+#include "cpu/gauss_jordan.h"  // IWYU pragma: export
+#include "cpu/lu.h"            // IWYU pragma: export
+#include "cpu/qr.h"            // IWYU pragma: export
+#include "cpu/thread_pool.h"   // IWYU pragma: export

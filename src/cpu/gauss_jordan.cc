@@ -1,0 +1,58 @@
+#include "cpu/gauss_jordan.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace regla::cpu {
+
+namespace {
+
+/// Shared elimination core; `pivot_row` selects the pivot (identity for the
+/// unpivoted variant).
+template <typename PivotFn>
+bool gj_core(MatrixView<float> a, MatrixView<float> b, PivotFn pivot_row) {
+  const int n = a.rows();
+  REGLA_CHECK(a.cols() == n && b.rows() == n);
+  const int nrhs = b.cols();
+  for (int k = 0; k < n; ++k) {
+    const int p = pivot_row(a, k);
+    if (p != k) {
+      for (int j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
+      for (int j = 0; j < nrhs; ++j) std::swap(b(k, j), b(p, j));
+    }
+    const float pivot = a(k, k);
+    if (pivot == 0.0f) return false;
+    const float inv = 1.0f / pivot;
+    // Scale pivot row (paper: "scaling each row by the diagonal element").
+    for (int j = k; j < n; ++j) a(k, j) *= inv;
+    for (int j = 0; j < nrhs; ++j) b(k, j) *= inv;
+    // Eliminate the pivot column from every other row (reduced REF).
+    for (int i = 0; i < n; ++i) {
+      if (i == k) continue;
+      const float f = a(i, k);
+      if (f == 0.0f) continue;
+      for (int j = k; j < n; ++j) a(i, j) -= f * a(k, j);
+      for (int j = 0; j < nrhs; ++j) b(i, j) -= f * b(k, j);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool gauss_jordan_solve(MatrixView<float> a, MatrixView<float> b) {
+  return gj_core(a, b, [](MatrixView<float>&, int k) { return k; });
+}
+
+bool gauss_jordan_solve_pivot(MatrixView<float> a, MatrixView<float> b) {
+  return gj_core(a, b, [](MatrixView<float>& m, int k) {
+    int p = k;
+    float best = std::fabs(m(k, k));
+    for (int i = k + 1; i < m.rows(); ++i)
+      if (std::fabs(m(i, k)) > best) { best = std::fabs(m(i, k)); p = i; }
+    return p;
+  });
+}
+
+}  // namespace regla::cpu

@@ -1,0 +1,19 @@
+// Gauss-Jordan elimination (paper §III-A): reduce [A | b] to reduced row
+// echelon form by row operations, producing x in place of b. Like the
+// paper's GPU kernel, the default variant does not pivot; a pivoted variant
+// is provided for property tests on non-dominant matrices.
+#pragma once
+
+#include "common/matrix.h"
+
+namespace regla::cpu {
+
+/// Solve A x = b without pivoting; b (n x nrhs) is overwritten with x and A
+/// is destroyed. Returns false on a zero pivot (the paper's kernel raises a
+/// "notsolved" flag in the same situation).
+bool gauss_jordan_solve(MatrixView<float> a, MatrixView<float> b);
+
+/// Partial-pivoting variant.
+bool gauss_jordan_solve_pivot(MatrixView<float> a, MatrixView<float> b);
+
+}  // namespace regla::cpu

@@ -1,0 +1,95 @@
+#include "cpu/lu.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace regla::cpu {
+
+bool lu_nopivot(MatrixView<float> a) {
+  const int n = std::min(a.rows(), a.cols());
+  REGLA_CHECK(a.rows() == a.cols());
+  for (int k = 0; k < n - 1; ++k) {
+    const float pivot = a(k, k);
+    if (pivot == 0.0f) return false;
+    const float inv = 1.0f / pivot;
+    for (int i = k + 1; i < n; ++i) a(i, k) *= inv;
+    for (int j = k + 1; j < n; ++j) {
+      const float ukj = a(k, j);
+      if (ukj == 0.0f) continue;
+      for (int i = k + 1; i < n; ++i) a(i, j) -= a(i, k) * ukj;
+    }
+  }
+  return a(n - 1, n - 1) != 0.0f;
+}
+
+bool lu_pivot(MatrixView<float> a, std::vector<int>& piv) {
+  const int n = a.rows();
+  REGLA_CHECK(a.rows() == a.cols());
+  piv.assign(n, 0);
+  for (int k = 0; k < n; ++k) {
+    int p = k;
+    float best = std::fabs(a(k, k));
+    for (int i = k + 1; i < n; ++i)
+      if (std::fabs(a(i, k)) > best) { best = std::fabs(a(i, k)); p = i; }
+    piv[k] = p;
+    if (best == 0.0f) return false;
+    if (p != k)
+      for (int j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
+    if (k + 1 == n) break;
+    const float inv = 1.0f / a(k, k);
+    for (int i = k + 1; i < n; ++i) a(i, k) *= inv;
+    for (int j = k + 1; j < n; ++j) {
+      const float ukj = a(k, j);
+      if (ukj == 0.0f) continue;
+      for (int i = k + 1; i < n; ++i) a(i, j) -= a(i, k) * ukj;
+    }
+  }
+  return true;
+}
+
+void lu_solve_nopivot(MatrixView<const float> lu, MatrixView<float> b) {
+  const int n = lu.rows();
+  REGLA_CHECK(b.rows() == n);
+  for (int col = 0; col < b.cols(); ++col) {
+    // Forward substitution with unit-lower L.
+    for (int i = 0; i < n; ++i) {
+      float acc = b(i, col);
+      for (int k = 0; k < i; ++k) acc -= lu(i, k) * b(k, col);
+      b(i, col) = acc;
+    }
+    // Back substitution with U.
+    for (int i = n - 1; i >= 0; --i) {
+      float acc = b(i, col);
+      for (int k = i + 1; k < n; ++k) acc -= lu(i, k) * b(k, col);
+      b(i, col) = acc / lu(i, i);
+    }
+  }
+}
+
+void lu_solve_pivot(MatrixView<const float> lu, const std::vector<int>& piv,
+                    MatrixView<float> b) {
+  const int n = lu.rows();
+  REGLA_CHECK(b.rows() == n && static_cast<int>(piv.size()) == n);
+  for (int col = 0; col < b.cols(); ++col)
+    for (int k = 0; k < n; ++k)
+      if (piv[k] != k) std::swap(b(k, col), b(piv[k], col));
+  lu_solve_nopivot(lu, b);
+}
+
+void lu_factor_panel_nopivot(MatrixView<float> a, int panel) {
+  const int m = a.rows();
+  REGLA_CHECK(panel >= 1 && panel <= std::min(m, a.cols()));
+  for (int k = 0; k < panel; ++k) {
+    const float pivot = a(k, k);
+    REGLA_CHECK_MSG(pivot != 0.0f, "zero pivot in panel LU at " << k);
+    const float inv = 1.0f / pivot;
+    for (int i = k + 1; i < m; ++i) a(i, k) *= inv;
+    for (int j = k + 1; j < panel; ++j) {
+      const float ukj = a(k, j);
+      for (int i = k + 1; i < m; ++i) a(i, j) -= a(i, k) * ukj;
+    }
+  }
+}
+
+}  // namespace regla::cpu

@@ -1,0 +1,31 @@
+// LU factorization on the CPU: unpivoted (matching the paper's GPU kernels)
+// and partially pivoted (matching what MKL/MAGMA actually do — the paper
+// compares against pivoted MKL on diagonally dominant inputs).
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace regla::cpu {
+
+/// In-place unpivoted LU: unit-lower L below the diagonal, U on and above.
+/// Returns false if a zero pivot is hit (matrix left partially factored).
+bool lu_nopivot(MatrixView<float> a);
+
+/// In-place partial-pivoting LU (sgetrf): piv[k] is the row swapped with
+/// row k at step k. Returns false only for an exactly singular matrix.
+bool lu_pivot(MatrixView<float> a, std::vector<int>& piv);
+
+/// Solve A x = b given an unpivoted factorization (b overwritten with x).
+void lu_solve_nopivot(MatrixView<const float> lu, MatrixView<float> b);
+
+/// Solve with a pivoted factorization.
+void lu_solve_pivot(MatrixView<const float> lu, const std::vector<int>& piv,
+                    MatrixView<float> b);
+
+/// Blocked panel LU for the hybrid driver: factor rows/cols [0, panel) of the
+/// leading panel (no pivoting), leaving the trailing matrix untouched.
+void lu_factor_panel_nopivot(MatrixView<float> a, int panel);
+
+}  // namespace regla::cpu

@@ -1,0 +1,187 @@
+#include "cpu/qr.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace regla::cpu {
+
+namespace {
+
+/// Generate one real Householder reflector for x = [alpha; rest], LAPACK
+/// slarfg style: on return x holds [beta; v(2:)], with H = I - tau v v^T,
+/// v = [1; v(2:)], and H x = [beta; 0].
+float larfg(int n, float& alpha, float* x, int incx) {
+  if (n <= 1) return 0.0f;
+  const float xnorm = snrm2(n - 1, x, incx);
+  if (xnorm == 0.0f) return 0.0f;
+  const float beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  const float tau = (beta - alpha) / beta;
+  sscal(n - 1, 1.0f / (alpha - beta), x, incx);
+  alpha = beta;
+  return tau;
+}
+
+/// Complex Householder reflector (clarfg, simplified: beta chosen real).
+cfloat clarfg(int n, cfloat& alpha, cfloat* x, int incx) {
+  const float xnorm = n > 1 ? scnrm2(n - 1, x, incx) : 0.0f;
+  if (xnorm == 0.0f && alpha.imag() == 0.0f) return 0.0f;
+  const float alphr = alpha.real(), alphi = alpha.imag();
+  float beta = -std::copysign(
+      std::sqrt(alphr * alphr + alphi * alphi + xnorm * xnorm), alphr);
+  const cfloat tau{(beta - alphr) / beta, -alphi / beta};
+  const cfloat scale = 1.0f / (alpha - beta);
+  for (int i = 0; i < n - 1; ++i) x[static_cast<std::ptrdiff_t>(i) * incx] *= scale;
+  alpha = {beta, 0.0f};
+  return tau;
+}
+
+/// Apply H = I - tau v v^T from the left to C, v = [1; v_rest] of length m.
+void larf_left(int m, int n, const float* v_rest, float tau, MatrixView<float> c) {
+  if (tau == 0.0f) return;
+  for (int j = 0; j < n; ++j) {
+    float w = c(0, j);
+    for (int i = 1; i < m; ++i) w += v_rest[i - 1] * c(i, j);
+    w *= tau;
+    c(0, j) -= w;
+    for (int i = 1; i < m; ++i) c(i, j) -= v_rest[i - 1] * w;
+  }
+}
+
+void clarf_left(int m, int n, const cfloat* v_rest, cfloat tau,
+                MatrixView<cfloat> c) {
+  if (tau == cfloat{0.0f, 0.0f}) return;
+  for (int j = 0; j < n; ++j) {
+    cfloat w = c(0, j);
+    for (int i = 1; i < m; ++i) w += std::conj(v_rest[i - 1]) * c(i, j);
+    w *= tau;
+    c(0, j) -= w;
+    for (int i = 1; i < m; ++i) c(i, j) -= v_rest[i - 1] * w;
+  }
+}
+
+}  // namespace
+
+void qr_factor(MatrixView<float> a, std::vector<float>& tau) {
+  const int m = a.rows(), n = a.cols();
+  REGLA_CHECK_MSG(m >= n, "qr_factor needs m >= n, got " << m << "x" << n);
+  tau.assign(n, 0.0f);
+  for (int j = 0; j < n; ++j) {
+    float alpha = a(j, j);
+    float* rest = (j + 1 < m) ? &a(j + 1, j) : nullptr;
+    tau[j] = larfg(m - j, alpha, rest, 1);
+    a(j, j) = alpha;
+    if (j + 1 < n) {
+      auto trailing = a.block(j, j + 1, m - j, n - j - 1);
+      larf_left(m - j, n - j - 1, rest, tau[j], trailing);
+    }
+  }
+}
+
+void qr_factor(MatrixView<cfloat> a, std::vector<cfloat>& tau) {
+  const int m = a.rows(), n = a.cols();
+  REGLA_CHECK_MSG(m >= n, "qr_factor needs m >= n, got " << m << "x" << n);
+  tau.assign(n, cfloat{});
+  for (int j = 0; j < n; ++j) {
+    cfloat alpha = a(j, j);
+    cfloat* rest = (j + 1 < m) ? &a(j + 1, j) : nullptr;
+    tau[j] = clarfg(m - j, alpha, rest, 1);
+    a(j, j) = alpha;
+    if (j + 1 < n) {
+      auto trailing = a.block(j, j + 1, m - j, n - j - 1);
+      clarf_left(m - j, n - j - 1, rest, std::conj(tau[j]), trailing);
+    }
+  }
+}
+
+void qr_form_q(MatrixView<const float> qr, const std::vector<float>& tau,
+               MatrixView<float> q) {
+  const int m = qr.rows(), n = qr.cols();
+  REGLA_CHECK(q.rows() == m && q.cols() == n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) q(i, j) = (i == j) ? 1.0f : 0.0f;
+  for (int j = n - 1; j >= 0; --j) {
+    const float* rest = (j + 1 < m) ? &qr(j + 1, j) : nullptr;
+    auto block = q.block(j, j, m - j, n - j);
+    larf_left(m - j, n - j, rest, tau[j], block);
+  }
+}
+
+void qr_form_q(MatrixView<const cfloat> qr, const std::vector<cfloat>& tau,
+               MatrixView<cfloat> q) {
+  const int m = qr.rows(), n = qr.cols();
+  REGLA_CHECK(q.rows() == m && q.cols() == n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) q(i, j) = (i == j) ? cfloat{1.0f} : cfloat{};
+  for (int j = n - 1; j >= 0; --j) {
+    const cfloat* rest = (j + 1 < m) ? &qr(j + 1, j) : nullptr;
+    auto block = q.block(j, j, m - j, n - j);
+    clarf_left(m - j, n - j, rest, tau[j], block);
+  }
+}
+
+void qr_apply_qt(MatrixView<const float> qr, const std::vector<float>& tau,
+                 MatrixView<float> b) {
+  const int m = qr.rows(), n = qr.cols();
+  REGLA_CHECK(b.rows() == m);
+  for (int j = 0; j < n; ++j) {
+    const float* rest = (j + 1 < m) ? &qr(j + 1, j) : nullptr;
+    auto block = b.block(j, 0, m - j, b.cols());
+    larf_left(m - j, b.cols(), rest, tau[j], block);
+  }
+}
+
+void qr_apply_qt(MatrixView<const cfloat> qr, const std::vector<cfloat>& tau,
+                 MatrixView<cfloat> b) {
+  const int m = qr.rows(), n = qr.cols();
+  REGLA_CHECK(b.rows() == m);
+  for (int j = 0; j < n; ++j) {
+    const cfloat* rest = (j + 1 < m) ? &qr(j + 1, j) : nullptr;
+    auto block = b.block(j, 0, m - j, b.cols());
+    clarf_left(m - j, b.cols(), rest, std::conj(tau[j]), block);
+  }
+}
+
+void qr_least_squares(MatrixView<float> a, MatrixView<float> b,
+                      MatrixView<float> x) {
+  const int n = a.cols();
+  REGLA_CHECK(x.rows() == n && x.cols() == b.cols());
+  std::vector<float> tau;
+  qr_factor(a, tau);
+  qr_apply_qt(a.as_const(), tau, b);
+  for (int col = 0; col < b.cols(); ++col)
+    for (int i = 0; i < n; ++i) x(i, col) = b(i, col);
+  strsm_upper_left(a.as_const(), x);
+}
+
+void qr_factor_panel(MatrixView<float> a, int panel_cols, std::vector<float>& tau) {
+  const int m = a.rows(), n = a.cols();
+  REGLA_CHECK(panel_cols >= 1 && panel_cols <= n);
+  tau.assign(panel_cols, 0.0f);
+  for (int j = 0; j < panel_cols; ++j) {
+    float alpha = a(j, j);
+    float* rest = (j + 1 < m) ? &a(j + 1, j) : nullptr;
+    tau[j] = larfg(m - j, alpha, rest, 1);
+    a(j, j) = alpha;
+    // Update only the rest of the panel; the trailing matrix beyond it is
+    // the GPU-GEMM half of the hybrid driver's job.
+    if (j + 1 < panel_cols) {
+      auto trailing = a.block(j, j + 1, m - j, panel_cols - j - 1);
+      larf_left(m - j, panel_cols - j - 1, rest, tau[j], trailing);
+    }
+  }
+}
+
+void qr_apply_panel_reflectors(MatrixView<const float> a, int panel_cols,
+                               const std::vector<float>& tau,
+                               MatrixView<float> trailing) {
+  const int m = a.rows();
+  REGLA_CHECK(trailing.rows() == m);
+  for (int j = 0; j < panel_cols; ++j) {
+    const float* rest = (j + 1 < m) ? &a(j + 1, j) : nullptr;
+    auto block = trailing.block(j, 0, m - j, trailing.cols());
+    larf_left(m - j, trailing.cols(), rest, tau[j], block);
+  }
+}
+
+}  // namespace regla::cpu

@@ -1,0 +1,47 @@
+// Householder QR on the CPU (LAPACK sgeqrf/cgeqrf conventions): reflectors
+// stored below the diagonal with unit leading element, R on and above it,
+// scalar factors in tau. This is both the correctness reference for the GPU
+// kernels and the per-problem worker of the "MKL" batched baseline.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "cpu/blas.h"
+
+namespace regla::cpu {
+
+/// Factor A (m x n, m >= n) in place. tau is resized to n.
+void qr_factor(MatrixView<float> a, std::vector<float>& tau);
+void qr_factor(MatrixView<cfloat> a, std::vector<cfloat>& tau);
+
+/// Form the thin Q (m x n) from a factored matrix.
+void qr_form_q(MatrixView<const float> qr, const std::vector<float>& tau,
+               MatrixView<float> q);
+void qr_form_q(MatrixView<const cfloat> qr, const std::vector<cfloat>& tau,
+               MatrixView<cfloat> q);
+
+/// B := Q^T B (Q^H B for complex), B is m x nrhs.
+void qr_apply_qt(MatrixView<const float> qr, const std::vector<float>& tau,
+                 MatrixView<float> b);
+void qr_apply_qt(MatrixView<const cfloat> qr, const std::vector<cfloat>& tau,
+                 MatrixView<cfloat> b);
+
+/// Least squares min ||A x - b||_2 via QR; A (m x n) and b (m x nrhs) are
+/// overwritten; the solution lands in x (n x nrhs).
+void qr_least_squares(MatrixView<float> a, MatrixView<float> b,
+                      MatrixView<float> x);
+
+/// Blocked panel QR: factor only columns [0, panel_cols) of A, leaving the
+/// trailing columns untouched — the CPU half of the hybrid (MAGMA-style)
+/// driver. The reflectors land below the diagonal of the panel.
+void qr_factor_panel(MatrixView<float> a, int panel_cols, std::vector<float>& tau);
+
+/// Apply the panel's reflectors (from qr_factor_panel on `a`) to a trailing
+/// block whose rows are aligned with `a`'s. Functionally this is what the
+/// hybrid driver's GPU GEMM computes.
+void qr_apply_panel_reflectors(MatrixView<const float> a, int panel_cols,
+                               const std::vector<float>& tau,
+                               MatrixView<float> trailing);
+
+}  // namespace regla::cpu

@@ -1,0 +1,94 @@
+#include "cpu/thread_pool.h"
+
+#include <algorithm>
+
+namespace regla::cpu {
+
+ThreadPool::ThreadPool(int workers) {
+  int n = workers > 0 ? workers
+                      : static_cast<int>(std::thread::hardware_concurrency());
+  n = std::max(1, n);
+  const int helpers = n - 1;  // the calling thread is worker 0
+  tasks_.resize(helpers);
+  has_work_.assign(helpers, false);
+  threads_.reserve(helpers);
+  for (int i = 0; i < helpers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(int index) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || has_work_[index]; });
+      if (stop_) return;
+      task = tasks_[index];
+      has_work_[index] = false;
+    }
+    try {
+      for (int i = task.begin; i < task.end; ++i) (*task.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  const int helpers = static_cast<int>(threads_.size());
+  const int parts = std::min(count, helpers + 1);
+  const int chunk = (count + parts - 1) / parts;
+
+  int dispatched = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error_ = nullptr;
+    for (int w = 0; w < helpers && (w + 1) * chunk < count + chunk; ++w) {
+      const int begin = (w + 1) * chunk;  // slot 0 runs on the caller
+      const int end = std::min(count, begin + chunk);
+      if (begin >= end) break;
+      tasks_[w] = Task{&fn, begin, end};
+      has_work_[w] = true;
+      ++dispatched;
+    }
+    outstanding_ = dispatched;
+  }
+  cv_work_.notify_all();
+
+  // The caller runs the first chunk.
+  const int my_end = std::min(count, chunk);
+  try {
+    for (int i = 0; i < my_end; ++i) fn(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return outstanding_ == 0; });
+    if (error_) std::rethrow_exception(error_);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace regla::cpu

@@ -1,0 +1,53 @@
+// A small work-stealing-free thread pool for batched CPU linear algebra:
+// the paper's MKL baseline "distributes the problems evenly across all four
+// cores using pthreads"; parallel_for does exactly that (static chunking).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace regla::cpu {
+
+class ThreadPool {
+ public:
+  /// workers = 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Run fn(i) for i in [0, count), statically chunked across workers plus
+  /// the calling thread. Blocks until all iterations complete. Exceptions in
+  /// workers are rethrown on the caller (first one wins).
+  void parallel_for(int count, const std::function<void(int)>& fn);
+
+  /// Process-wide pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(int)>* fn = nullptr;
+    int begin = 0;
+    int end = 0;
+  };
+
+  void worker_loop(int index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Task> tasks_;       // one slot per worker
+  std::vector<bool> has_work_;
+  int outstanding_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace regla::cpu

@@ -1,0 +1,198 @@
+#include "hybrid/hybrid.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "cpu/blas.h"
+#include "cpu/lu.h"
+#include "cpu/qr.h"
+#include "model/flops.h"
+
+namespace regla::hybrid {
+
+namespace {
+
+using regla::model::gemm_seconds;
+using regla::model::pcie_seconds;
+
+/// Fold one panel step into the composed timeline with MAGMA's lookahead
+/// overlap: the CPU factors panel k+1 while the GPU updates trailing k.
+struct Timeline {
+  double total = 0;
+  double pending_gemm = 0;  // GPU work overlappable with the next CPU panel
+
+  void cpu_step(double cpu) {
+    total += std::max(cpu, pending_gemm);
+    pending_gemm = 0;
+  }
+  void gpu_step(double gemm) { pending_gemm += gemm; }
+  void flush() {
+    total += pending_gemm;
+    pending_gemm = 0;
+  }
+};
+
+}  // namespace
+
+HybridResult hybrid_qr(MatrixView<float> a, const HybridOptions& opt) {
+  const int m = a.rows(), n = a.cols();
+  REGLA_CHECK(m >= n);
+  HybridResult out;
+  out.nominal_flops = regla::model::qr_flops(m, n);
+
+  const double matrix_bytes = 4.0 * m * n;
+  Timeline tl;
+
+  if (n < opt.panel_width) {
+    // Below the panel width: everything on the CPU (MAGMA's policy).
+    out.all_on_cpu = true;
+    WallTimer t;
+    std::vector<float> tau;
+    regla::cpu::qr_factor(a, tau);
+    out.cpu_seconds = t.seconds() * opt.cpu_time_scale;
+    if (opt.data_on_gpu)
+      out.pcie_seconds = 2.0 * pcie_seconds(opt.gpu, matrix_bytes);
+    out.seconds = out.cpu_seconds + out.pcie_seconds;
+    return out;
+  }
+
+  if (opt.data_on_gpu)  // initial device->host of the first panel
+    out.pcie_seconds += pcie_seconds(opt.gpu, 4.0 * m * opt.panel_width);
+
+  std::vector<float> tau;
+  for (int j0 = 0; j0 < n; j0 += opt.panel_width) {
+    const int pw = std::min(opt.panel_width, n - j0);
+    auto rest = a.block(j0, j0, m - j0, n - j0);
+
+    WallTimer t;
+    regla::cpu::qr_factor_panel(rest, pw, tau);
+    const double cpu = t.seconds() * opt.cpu_time_scale;
+    out.cpu_seconds += cpu;
+    tl.cpu_step(cpu);
+
+    const int tcols = n - j0 - pw;
+    if (tcols > 0) {
+      // Functional trailing update on the host; *timed* as the GPU GEMM pair
+      // of the compact-WY application (2 * 2 * (m-j0) * tcols * pw flops).
+      if (opt.functional) {
+        auto trailing = a.block(j0, j0 + pw, m - j0, tcols);
+        regla::cpu::qr_apply_panel_reflectors(rest, pw, tau, trailing);
+      }
+      const double gemm = 2.0 * gemm_seconds(opt.gpu, m - j0, tcols, pw);
+      out.gemm_seconds += gemm;
+      tl.gpu_step(gemm);
+      // Panel goes up, next panel comes back.
+      out.pcie_seconds += 2.0 * pcie_seconds(opt.gpu, 4.0 * (m - j0) * pw);
+    }
+  }
+  tl.flush();
+  if (opt.data_on_gpu)  // result back to device
+    out.pcie_seconds += pcie_seconds(opt.gpu, matrix_bytes);
+
+  out.seconds = tl.total + out.pcie_seconds;
+  return out;
+}
+
+HybridResult hybrid_lu(MatrixView<float> a, const HybridOptions& opt) {
+  const int n = a.rows();
+  REGLA_CHECK(a.cols() == n);
+  HybridResult out;
+  out.nominal_flops = regla::model::lu_flops(n);
+
+  const double matrix_bytes = 4.0 * n * n;
+  Timeline tl;
+
+  if (n < opt.panel_width) {
+    out.all_on_cpu = true;
+    WallTimer t;
+    REGLA_CHECK_MSG(regla::cpu::lu_nopivot(a), "zero pivot in hybrid LU");
+    out.cpu_seconds = t.seconds() * opt.cpu_time_scale;
+    if (opt.data_on_gpu)
+      out.pcie_seconds = 2.0 * pcie_seconds(opt.gpu, matrix_bytes);
+    out.seconds = out.cpu_seconds + out.pcie_seconds;
+    return out;
+  }
+
+  if (opt.data_on_gpu)
+    out.pcie_seconds += pcie_seconds(opt.gpu, 4.0 * n * opt.panel_width);
+
+  for (int j0 = 0; j0 < n; j0 += opt.panel_width) {
+    const int pw = std::min(opt.panel_width, n - j0);
+    auto rest = a.block(j0, j0, n - j0, n - j0);
+
+    WallTimer t;
+    regla::cpu::lu_factor_panel_nopivot(rest, pw);
+    const double cpu = t.seconds() * opt.cpu_time_scale;
+    out.cpu_seconds += cpu;
+    tl.cpu_step(cpu);
+
+    const int tcols = n - j0 - pw;
+    if (tcols > 0) {
+      // U12 := L11^-1 A12 (triangular solve), then the Schur complement
+      // A22 -= L21 U12 — both on the "GPU".
+      if (opt.functional) {
+        auto l11 = rest.block(0, 0, pw, pw);
+        auto a12 = rest.block(0, pw, pw, tcols);
+        regla::cpu::strsm_unit_lower_left(l11, a12);
+        auto l21 = rest.block(pw, 0, rest.rows() - pw, pw);
+        auto a22 = rest.block(pw, pw, rest.rows() - pw, tcols);
+        regla::cpu::sgemm('N', 'N', -1.0f, l21, a12, 1.0f, a22);
+      }
+
+      const double gemm =
+          gemm_seconds(opt.gpu, rest.rows() - pw, tcols, pw) +
+          gemm_seconds(opt.gpu, pw, tcols, pw);  // trsm charged as a GEMM
+      out.gemm_seconds += gemm;
+      tl.gpu_step(gemm);
+      out.pcie_seconds += 2.0 * pcie_seconds(opt.gpu, 4.0 * (n - j0) * pw);
+    }
+  }
+  tl.flush();
+  if (opt.data_on_gpu) out.pcie_seconds += pcie_seconds(opt.gpu, matrix_bytes);
+
+  out.seconds = tl.total + out.pcie_seconds;
+  return out;
+}
+
+namespace {
+
+template <typename Fn>
+HybridResult batch_loop(BatchedMatrix<float>& batch, int sample_cap, Fn one) {
+  REGLA_CHECK(batch.count() >= 1);
+  const int sampled = std::min(batch.count(), std::max(1, sample_cap));
+  HybridResult acc;
+  for (int k = 0; k < sampled; ++k) {
+    const HybridResult r = one(batch.matrix(k));
+    acc.seconds += r.seconds;
+    acc.cpu_seconds += r.cpu_seconds;
+    acc.gemm_seconds += r.gemm_seconds;
+    acc.pcie_seconds += r.pcie_seconds;
+    acc.nominal_flops += r.nominal_flops;
+    acc.all_on_cpu = r.all_on_cpu;
+  }
+  const double scale = static_cast<double>(batch.count()) / sampled;
+  acc.seconds *= scale;
+  acc.cpu_seconds *= scale;
+  acc.gemm_seconds *= scale;
+  acc.pcie_seconds *= scale;
+  acc.nominal_flops *= scale;
+  return acc;
+}
+
+}  // namespace
+
+HybridResult hybrid_qr_batch(BatchedMatrix<float>& batch,
+                             const HybridOptions& opt, int sample_cap) {
+  return batch_loop(batch, sample_cap,
+                    [&](MatrixView<float> a) { return hybrid_qr(a, opt); });
+}
+
+HybridResult hybrid_lu_batch(BatchedMatrix<float>& batch,
+                             const HybridOptions& opt, int sample_cap) {
+  return batch_loop(batch, sample_cap,
+                    [&](MatrixView<float> a) { return hybrid_lu(a, opt); });
+}
+
+}  // namespace regla::hybrid

@@ -1,0 +1,42 @@
+// Microbenchmarks of the simulated GPU's memory system (paper §II).
+//
+// These are the paper's measurement kernels — unrolled copies, pointer
+// chasing, barrier chains — run against the simulator. They recover the
+// machine parameters (Tables II-IV, Figs. 1-2) from black-box launch timing,
+// validating both the measurement methodology and the timing model: the
+// numbers they report must agree with the DeviceConfig constants they were
+// derived from, and the tests assert that they do.
+#pragma once
+
+#include <cstddef>
+
+#include "simt/engine.h"
+
+namespace regla::microbench {
+
+/// Listing 1: repeated shared-memory loads accumulated into registers.
+/// All SMs busy; returns chip-wide GB/s (Table II: 880).
+double shared_bandwidth_all_gbs(regla::simt::Device& dev);
+
+/// Same kernel, one block on one SM (Table II: 62.8 per core).
+double shared_bandwidth_per_sm_gbs(regla::simt::Device& dev);
+
+/// Listing 2: unrolled copy of a large array; returns achieved GB/s counting
+/// read + write traffic (Table II: 108).
+double global_copy_gbs(regla::simt::Device& dev, std::size_t megabytes = 16);
+
+/// Shared-memory pointer chasing (Table III: 27 cycles).
+double shared_latency_cycles(regla::simt::Device& dev);
+
+/// Global-memory pointer chasing at a given stride over a 2^26-word array
+/// (Fig. 1; the large-stride plateau is Table III's 570 cycles).
+double global_latency_cycles(regla::simt::Device& dev, std::size_t stride_words,
+                             std::size_t len_words = std::size_t{1} << 26);
+
+/// Barrier chain (Fig. 2; Table IV: 46 cycles at 64 threads).
+double sync_latency_cycles(regla::simt::Device& dev, int threads);
+
+/// Dependent-FMA chain (Table IV: gamma = 18 cycles).
+double fp_pipeline_cycles(regla::simt::Device& dev);
+
+}  // namespace regla::microbench

@@ -1,0 +1,36 @@
+#include "model/flops.h"
+
+namespace regla::model {
+
+double gj_flops(int n) {
+  const double nd = n;
+  return nd * nd * nd;
+}
+
+double lu_flops(int n) {
+  const double nd = n;
+  return 2.0 / 3.0 * nd * nd * nd;
+}
+
+double qr_flops(int m, int n) {
+  const double md = m, nd = n;
+  return 2.0 * md * nd * nd - 2.0 / 3.0 * nd * nd * nd;
+}
+
+double ls_flops(int m, int n) {
+  const double md = m, nd = n;
+  // QR of the augmented [A | b], then a triangular solve: the extra column
+  // costs ~4 m n (reflector application) and the solve costs n^2.
+  return qr_flops(m, n) + 4.0 * md * nd + nd * nd;
+}
+
+double cqr_flops(int m, int n) {
+  const double md = m, nd = n;
+  return 8.0 * md * nd * nd - 8.0 / 3.0 * nd * nd * nd;
+}
+
+double matrix_traffic_bytes(int m, int n, int elem_bytes) {
+  return 2.0 * static_cast<double>(m) * n * elem_bytes;
+}
+
+}  // namespace regla::model

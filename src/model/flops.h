@@ -1,0 +1,32 @@
+// Nominal operation counts and arithmetic intensities (paper §III, §IV).
+//
+// These are the textbook FLOP formulas the paper reports GFLOP/s against.
+// The simulator's instrumented counters are cross-checked against these in
+// tests (they must agree to within lower-order terms).
+#pragma once
+
+namespace regla::model {
+
+/// Gauss-Jordan solve of an n x n system (paper: "performs n^3 FLOPs").
+double gj_flops(int n);
+
+/// Unpivoted LU of an n x n matrix (paper: 2/3 n^3).
+double lu_flops(int n);
+
+/// Householder QR of an m x n matrix (paper: 2 m n^2 - 2/3 n^3; the paper's
+/// worked example 457 FLOPs for 7x7 matches this formula).
+double qr_flops(int m, int n);
+
+/// Least squares via QR with b appended (QR cost + triangular solve).
+double ls_flops(int m, int n);
+
+/// Complex single-precision QR in real FLOPs (paper §VII: 8 m n^2 - 8/3 n^3).
+double cqr_flops(int m, int n);
+
+/// DRAM traffic of factoring in place: read + write the matrix once.
+double matrix_traffic_bytes(int m, int n, int elem_bytes = 4);
+
+/// Arithmetic intensity in FLOPs/byte for an in-place factorization.
+inline double intensity(double flops, double bytes) { return flops / bytes; }
+
+}  // namespace regla::model

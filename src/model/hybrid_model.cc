@@ -1,0 +1,25 @@
+#include "model/hybrid_model.h"
+
+#include <algorithm>
+
+namespace regla::model {
+
+double gemm_gflops(const HybridModelParams& p, int m, int n, int k) {
+  const double d = std::min({static_cast<double>(m), static_cast<double>(n),
+                             static_cast<double>(k) * 4.0});
+  // k is traversed, not parallelized over, so it gates efficiency less
+  // strongly than the output dimensions — hence the 4x credit above.
+  return p.gemm_peak_gflops * d / (d + p.gemm_half_dim);
+}
+
+double gemm_seconds(const HybridModelParams& p, int m, int n, int k) {
+  const double flops = 2.0 * m * n * k;
+  const double g = gemm_gflops(p, m, n, k);
+  return g > 0 ? flops / (g * 1e9) : 0.0;
+}
+
+double pcie_seconds(const HybridModelParams& p, double bytes) {
+  return p.pcie_latency_s + bytes / (p.pcie_gbs * 1e9);
+}
+
+}  // namespace regla::model

@@ -1,0 +1,32 @@
+// Throughput models for the hybrid CPU+GPU blocked baseline (paper §VI-A).
+//
+// MAGMA/CULA factor panels on the CPU and update the trailing matrix with the
+// GPU's SGEMM, overlapping PCIe transfers. We model the GPU SGEMM with a
+// saturating-efficiency curve (Fermi MAGMA SGEMM peaks around 60% of the
+// chip) and PCIe with a latency + bandwidth line. The CPU panel time is
+// *measured* on the host by src/hybrid, not modeled.
+#pragma once
+
+#include "simt/device_config.h"
+
+namespace regla::model {
+
+struct HybridModelParams {
+  double gemm_peak_gflops = 630.0;  ///< large-matrix SGEMM on the Fermi chip
+  double gemm_half_dim = 224.0;     ///< dimension at which half the peak is hit
+  double pcie_gbs = 5.0;            ///< effective host<->device bandwidth
+  double pcie_latency_s = 15e-6;    ///< per-transfer launch/DMA setup
+};
+
+/// Effective SGEMM GFLOP/s for a C(m x n) += A(m x k) B(k x n) update: the
+/// saturation argument is the smallest matrix dimension (panel updates are
+/// k-limited; k = panel width = 96 in MAGMA's policy the paper describes).
+double gemm_gflops(const HybridModelParams& p, int m, int n, int k);
+
+/// Seconds for the trailing update on the modeled GPU.
+double gemm_seconds(const HybridModelParams& p, int m, int n, int k);
+
+/// Seconds to move `bytes` across PCIe.
+double pcie_seconds(const HybridModelParams& p, double bytes);
+
+}  // namespace regla::model

@@ -1,0 +1,7 @@
+// Umbrella header for the analytical performance model (paper §II, §IV-V).
+#pragma once
+
+#include "model/flops.h"            // IWYU pragma: export
+#include "model/hybrid_model.h"     // IWYU pragma: export
+#include "model/per_block_model.h"  // IWYU pragma: export
+#include "model/per_thread_model.h" // IWYU pragma: export

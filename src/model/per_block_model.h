@@ -1,0 +1,59 @@
+// Eq. 2 + Table VI of the paper: the one-problem-per-block analytical model.
+//
+// Implements the paper's operation-count estimates for LU and QR literally:
+// per column, the column operation and the trailing-matrix update are charged
+// gamma per (multiply-add) FLOP on the critical path, beta per shared-memory
+// access, alpha_sync per barrier, and the divide/sqrt pipeline costs; DRAM
+// load/store of the matrix is added at achievable bandwidth. The model knows
+// nothing about register spilling or warp-scheduler overlap — by design, so
+// that it diverges from the simulator exactly where the paper reports its
+// model diverging from the hardware (Fig. 9).
+//
+// Interpretation notes (the paper leaves two units implicit):
+//  * beta (shared access cost) is charged per access *per thread* at warp
+//    throughput: beta = warps_per_block * transaction_cycles. This makes the
+//    2N-beta terms small next to N^2-gamma, matching the magnitudes of the
+//    paper's Fig. 8 model bars.
+//  * N is the number of column elements a thread owns in the current panel:
+//    N = ceil((m - c) / sqrt(p)) for global column c.
+#pragma once
+
+#include <vector>
+
+#include "simt/device_config.h"
+
+namespace regla::model {
+
+struct PanelCycles {
+  int panel = 0;
+  double form_hh = 0;  ///< column op (scale / Householder vector)
+  double matvec = 0;   ///< matrix-vector multiply + reduction (QR only)
+  double rank1 = 0;    ///< trailing rank-1 update
+  double total() const { return form_hh + matvec + rank1; }
+};
+
+struct PerBlockPrediction {
+  double compute_cycles = 0;
+  double load_cycles = 0;
+  double store_cycles = 0;
+  double total_cycles = 0;
+  int blocks_per_sm = 0;
+  double gflops = 0;  ///< chip throughput at full occupancy, nominal FLOPs
+  std::vector<PanelCycles> panels;
+};
+
+/// Factorization selector for the Table VI estimates.
+enum class BlockAlg { lu, qr };
+
+/// Predict one-problem-per-block performance for an m x n factorization with
+/// p threads (p must be a perfect square — the 2D cyclic layout).
+/// `shared_bytes` defaults to the l/u staging vectors the kernels allocate.
+PerBlockPrediction predict_per_block(const regla::simt::DeviceConfig& cfg,
+                                     BlockAlg alg, int m, int n, int p_threads,
+                                     int shared_bytes = 0);
+
+/// The paper's block-size policy: 64 threads while each thread's tile fits
+/// the register budget, 256 once it would not (the Fig. 9 switch at n = 80).
+int choose_block_threads(const regla::simt::DeviceConfig& cfg, int m, int n);
+
+}  // namespace regla::model

@@ -1,0 +1,20 @@
+#include "model/per_thread_model.h"
+
+#include <algorithm>
+
+namespace regla::model {
+
+PerThreadPrediction predict_per_thread(const regla::simt::DeviceConfig& cfg,
+                                       double flops_per_problem,
+                                       double bytes_per_problem, int batch,
+                                       int regs_needed_per_thread) {
+  PerThreadPrediction p;
+  p.intensity_flops_per_byte = flops_per_problem / bytes_per_problem;
+  const double bw = cfg.dram_achievable_gbs * 1e9;  // bytes/s
+  p.gflops = std::min(p.intensity_flops_per_byte * bw / 1e9, cfg.peak_sp_gflops());
+  p.seconds = flops_per_problem * batch / (p.gflops * 1e9);
+  p.fits_in_registers = regs_needed_per_thread <= cfg.max_regs_per_thread;
+  return p;
+}
+
+}  // namespace regla::model

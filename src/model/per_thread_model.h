@@ -1,0 +1,31 @@
+// Eq. 1 of the paper: the one-problem-per-thread performance model.
+//
+// "We assume that FLOPs are free and the register file is infinite. We only
+//  count the bandwidth cost between DRAM and register files... Expected
+//  performance is simply the product of the problem's arithmetic intensity
+//  and the global DRAM bandwidth." (§IV)
+//
+// The model deliberately does NOT consider register spilling — exactly as in
+// the paper, whose Fig. 4 shows the model diverging from measurement once
+// tiles spill past n = 8.
+#pragma once
+
+#include "simt/device_config.h"
+
+namespace regla::model {
+
+struct PerThreadPrediction {
+  double intensity_flops_per_byte = 0;
+  double gflops = 0;           ///< min(AI * BW, chip peak)
+  double seconds = 0;          ///< for the given batch
+  bool fits_in_registers = false;
+};
+
+/// Predict batched one-problem-per-thread factorization throughput.
+/// `flops_per_problem` from model/flops.h; traffic is read+write in place.
+PerThreadPrediction predict_per_thread(const regla::simt::DeviceConfig& cfg,
+                                       double flops_per_problem,
+                                       double bytes_per_problem, int batch,
+                                       int regs_needed_per_thread);
+
+}  // namespace regla::model

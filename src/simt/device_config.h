@@ -1,0 +1,113 @@
+// Machine description for the simulated GPU.
+//
+// All constants default to the NVIDIA Quadro 6000 (GF100 "Fermi") as reported
+// in Table I of the paper, plus the memory-system parameters the paper
+// measures with microbenchmarks (Tables II-IV, Figs. 1-2). Everything is a
+// plain struct so experiments can perturb a parameter and re-run (the model
+// explorer example does exactly that).
+#pragma once
+
+#include <cstdint>
+
+namespace regla::simt {
+
+struct DeviceConfig {
+  // --- Table I: chip summary -------------------------------------------
+  int num_sm = 14;                 ///< streaming multiprocessors (SIMT units)
+  int fpus_per_sm = 32;            ///< single-precision lanes per SM
+  double clock_ghz = 1.15;         ///< core clock
+  int max_regs_per_thread = 64;    ///< HW register budget before spilling
+  int reg_overhead_per_thread = 15;///< non-tile registers a kernel needs
+  int regfile_words_per_sm = 32768;///< 32-bit registers per SM
+  int shared_bytes_per_sm = 49152; ///< usable scratchpad per SM (48 KB config)
+  int max_blocks_per_sm = 8;
+  int max_threads_per_sm = 1536;
+  int max_threads_per_block = 1024;
+  int warp_size = 32;
+  int shared_banks = 32;
+
+  // --- Global memory (DRAM + L2) ---------------------------------------
+  double dram_peak_gbs = 144.0;      ///< 384-bit @ 3 GHz effective
+  double dram_achievable_gbs = 108.0;///< what a tuned copy reaches (75%)
+  int dram_segment_bytes = 128;      ///< coalescing granularity
+  double global_latency_cycles = 570;///< pointer-chase plateau (Table III)
+  int l2_bytes = 768 * 1024;
+  int l2_line_bytes = 128;
+  double l2_hit_latency_cycles = 365;
+  double dram_row_bytes = 4096;      ///< row-buffer granularity
+  double row_hit_discount_cycles = 60;
+  double line_hit_discount_cycles = 120;
+  int tlb_entries = 512;
+  int tlb_page_bytes = 4096;
+  double tlb_miss_penalty_cycles = 40;
+
+  // --- Shared memory ----------------------------------------------------
+  double shared_latency_cycles = 27;     ///< Table III
+  double shared_cycles_per_transaction = 2;  ///< 128 B / warp / 2 cycles
+  double shared_efficiency = 0.854;      ///< measured 880 of 1030 GB/s peak
+
+  // --- Pipelines ---------------------------------------------------------
+  double fp_pipeline_cycles = 18;   ///< gamma: FP latency (Table IV)
+  double fast_div_cycles = 36;      ///< SFU reciprocal path (22 mantissa bits)
+  double fast_sqrt_cycles = 48;     ///< SFU rsqrt path
+  double full_div_cycles = 180;     ///< software-refined IEEE divide
+  double full_sqrt_cycles = 260;    ///< software-refined IEEE sqrt
+  /// Issue (occupancy) cost of one warp SFU instruction: 32 lanes through
+  /// 4 SFUs. The *_cycles values above are latencies, exposed once per phase.
+  double sfu_issue_cycles_per_op = 8;
+  /// Without --use_fast_math, divide and sqrt compile to software
+  /// Newton-Raphson sequences that occupy the main FP pipeline; these are
+  /// their issue costs in FP instructions (the source of the paper's 30%
+  /// per-block fast-math speedup).
+  double full_div_issue_instrs = 24;
+  double full_sqrt_issue_instrs = 32;
+  double l1_latency_cycles = 30;    ///< spill traffic that stays in L1
+  double l1_cycles_per_access = 4;  ///< issue cost of a spilled access
+
+  // --- Synchronization: alpha_sync(warps) = base + slope * warps --------
+  // Calibrated to Table IV (46 cycles @ 64 threads) and Fig. 2
+  // (~190 cycles @ 1024 threads).
+  double sync_base_cycles = 35.4;
+  double sync_cycles_per_warp = 4.8;
+
+  // --- Engine knobs -------------------------------------------------------
+  /// Fraction of a block's DRAM phase time that is NOT hidden by the warp
+  /// scheduler overlapping other blocks' compute (paper, Table V discussion:
+  /// measured load time implies fewer than all 8 blocks compete at once).
+  double dram_overlap_factor = 0.6;
+  /// Use the 22-mantissa-bit hardware division/sqrt (--use_fast_math).
+  bool fast_math = true;
+
+  // --- Derived quantities -------------------------------------------------
+  double peak_sp_gflops() const {
+    return 2.0 * fpus_per_sm * num_sm * clock_ghz;  // FMA dual-issue
+  }
+  double dram_bytes_per_cycle() const {
+    return dram_achievable_gbs / clock_ghz;
+  }
+  /// Conflict-free shared throughput per SM in bytes per core cycle: a
+  /// 128-byte warp transaction every shared_cycles_per_transaction cycles
+  /// (the banks run at half the hot clock; this folds that in).
+  double shared_bytes_per_cycle_per_sm() const {
+    return warp_size * 4.0 / shared_cycles_per_transaction;
+  }
+  /// Theoretical peak shared bandwidth over all SMs (Table II context: 1030).
+  double shared_peak_gbs() const {
+    return num_sm * shared_bytes_per_cycle_per_sm() * clock_ghz;
+  }
+  /// What the copy microbenchmark reaches (Table II: 880 GB/s).
+  double shared_achievable_gbs() const {
+    return shared_peak_gbs() * shared_efficiency;
+  }
+  double sync_cycles(int threads_per_block) const {
+    const int warps = (threads_per_block + warp_size - 1) / warp_size;
+    return sync_base_cycles + sync_cycles_per_warp * warps;
+  }
+  double div_cycles() const { return fast_math ? fast_div_cycles : full_div_cycles; }
+  double sqrt_cycles() const { return fast_math ? fast_sqrt_cycles : full_sqrt_cycles; }
+
+  /// The paper's platform.
+  static DeviceConfig quadro6000() { return DeviceConfig{}; }
+};
+
+}  // namespace regla::simt

@@ -1,0 +1,141 @@
+#include "simt/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/error.h"
+#include "simt/fiber.h"
+#include "simt/timing.h"
+
+namespace regla::simt {
+
+namespace {
+
+/// Everything produced by functionally executing one block.
+struct BlockRun {
+  std::vector<PhaseRecord> phases;
+  std::size_t shared_bytes = 0;
+  std::uint64_t syncs = 0;
+};
+
+BlockRun run_block(const DeviceConfig& cfg, const LaunchSpec& spec,
+                   const KernelFn& body, int block_id) {
+  BlockRun out;
+  BlockState state;
+  std::vector<ThreadStats> stats(spec.threads);
+  std::vector<BlockCtx> ctxs;
+  ctxs.reserve(spec.threads);
+  for (int t = 0; t < spec.threads; ++t)
+    ctxs.emplace_back(cfg, state, block_id, spec.blocks, t, spec.threads,
+                      &Fiber::yield);
+
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  fibers.reserve(spec.threads);
+  for (int t = 0; t < spec.threads; ++t)
+    fibers.push_back(std::make_unique<Fiber>(
+        [&body, &ctxs, t] { body(ctxs[t]); }, spec.fiber_stack_bytes));
+
+  fast_math_enabled() = cfg.fast_math;
+  int alive = spec.threads;
+  while (alive > 0) {
+    // One pass: every live fiber runs to its next __syncthreads() or to
+    // completion; that boundary is a phase.
+    for (int t = 0; t < spec.threads; ++t) {
+      if (fibers[t]->done()) continue;
+      current_stats() = &stats[t];
+      if (!fibers[t]->resume()) --alive;
+    }
+    current_stats() = nullptr;
+    const bool ended_with_sync = alive > 0;
+    out.phases.push_back(fold_phase(cfg, stats, state.current_tag,
+                                    state.current_panel, ended_with_sync));
+    if (ended_with_sync) ++out.syncs;
+    for (ThreadStats& s : stats) s.reset();
+  }
+  out.shared_bytes = state.shared.total_bytes();
+  return out;
+}
+
+}  // namespace
+
+LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
+  REGLA_CHECK_MSG(spec.blocks >= 1, "launch needs at least one block");
+  REGLA_CHECK_MSG(spec.threads >= 1 && spec.threads <= cfg_.max_threads_per_block,
+                  "threads per block: " << spec.threads);
+
+  std::vector<BlockRun> runs(spec.blocks);
+
+  int workers = host_workers_ > 0
+                    ? host_workers_
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  workers = std::clamp(workers, 1, spec.blocks);
+
+  if (workers == 1) {
+    for (int b = 0; b < spec.blocks; ++b) runs[b] = run_block(cfg_, spec, body, b);
+  } else {
+    std::atomic<int> next{0};
+    auto work = [&] {
+      for (int b = next.fetch_add(1); b < spec.blocks; b = next.fetch_add(1))
+        runs[b] = run_block(cfg_, spec, body, b);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (auto& th : pool) th.join();
+  }
+
+  // Occupancy from the declared register demand and the *measured* shared
+  // usage (the engine knows exactly what the kernel allocated).
+  std::size_t shared_bytes = 0;
+  for (const BlockRun& r : runs) shared_bytes = std::max(shared_bytes, r.shared_bytes);
+  const Occupancy occ = occupancy(cfg_, spec.threads, spec.regs_per_thread,
+                                  shared_bytes);
+  // Contention inside an SM comes from blocks actually resident, which a
+  // small launch may not have enough of.
+  const int k_resident = std::min(
+      occ.blocks_per_sm, (spec.blocks + cfg_.num_sm - 1) / cfg_.num_sm);
+
+  LaunchResult res;
+  res.blocks_per_sm = occ.blocks_per_sm;
+  res.occupancy_limiter = occ.limiter;
+  res.shared_bytes_per_block = shared_bytes;
+  res.waves = (spec.blocks + occ.blocks_per_sm * cfg_.num_sm - 1) /
+              (occ.blocks_per_sm * cfg_.num_sm);
+
+  std::vector<double> block_times;
+  block_times.reserve(spec.blocks);
+  std::map<std::pair<int, int>, double> tagged;  // (panel, tag) -> cycles
+  std::uint64_t dram_bytes = 0;
+  for (const BlockRun& r : runs) {
+    double t = 0;
+    for (const PhaseRecord& p : r.phases) {
+      const double c = phase_cycles(cfg_, p, k_resident, spec.threads);
+      t += c;
+      tagged[{p.panel, static_cast<int>(p.tag)}] += c;
+      res.totals.flops += p.flops;
+      res.totals.divs += p.divs;
+      res.totals.sqrts += p.sqrts;
+      res.totals.spill_bytes += p.spill_bytes;
+      dram_bytes += p.gl_bytes;
+      res.totals.sh_accesses += static_cast<std::uint64_t>(p.sh_transactions);
+    }
+    res.totals.syncs += r.syncs;
+    block_times.push_back(t);
+  }
+  res.totals.gl_bytes = dram_bytes;
+
+  res.chip_cycles = chip_cycles(cfg_, block_times, k_resident, dram_bytes);
+  res.seconds = res.chip_cycles / (cfg_.clock_ghz * 1e9);
+  double sum = 0;
+  for (double t : block_times) sum += t;
+  res.block_cycles_avg = sum / static_cast<double>(block_times.size());
+
+  res.breakdown.reserve(tagged.size());
+  for (const auto& [key, cycles] : tagged)
+    res.breakdown.push_back(TaggedCycles{key.first, static_cast<OpTag>(key.second),
+                                         cycles / spec.blocks});
+  return res;
+}
+
+}  // namespace regla::simt

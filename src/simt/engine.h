@@ -1,0 +1,88 @@
+// The launch engine: runs kernels functionally (fibers) and produces timing
+// (cycles on the configured chip) plus instrumentation breakdowns.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simt/block_ctx.h"
+#include "simt/device_config.h"
+#include "simt/occupancy.h"
+#include "simt/stats.h"
+
+namespace regla::simt {
+
+using KernelFn = std::function<void(BlockCtx&)>;
+
+struct LaunchSpec {
+  int blocks = 1;
+  int threads = 32;
+  /// Register demand per thread, for the occupancy calculator (clamped to the
+  /// HW max; tiles that exceed the budget additionally spill — see RegTile).
+  int regs_per_thread = 32;
+  std::string name;
+  std::size_t fiber_stack_bytes = 128 * 1024;
+};
+
+/// Cycle attribution bucket for the Table V / Fig. 8 breakdowns.
+struct TaggedCycles {
+  int panel = -1;
+  OpTag tag = OpTag::other;
+  double cycles = 0;  ///< per-block average
+};
+
+struct LaunchResult {
+  double chip_cycles = 0;     ///< whole-launch time on the simulated chip
+  double seconds = 0;         ///< chip_cycles / clock
+  double block_cycles_avg = 0;
+  int blocks_per_sm = 0;
+  Occupancy::Limiter occupancy_limiter = Occupancy::Limiter::none;
+  int waves = 0;
+  std::size_t shared_bytes_per_block = 0;
+  LaunchCounters totals;
+  std::vector<TaggedCycles> breakdown;
+
+  /// Report throughput against a nominal FLOP count (the paper reports
+  /// GFLOP/s from the textbook operation counts, not instrumented FLOPs).
+  double gflops(double nominal_flops) const {
+    return seconds > 0 ? nominal_flops / seconds / 1e9 : 0;
+  }
+  /// Effective DRAM bandwidth of the launch.
+  double dram_gbs() const {
+    return seconds > 0 ? static_cast<double>(totals.gl_bytes) / seconds / 1e9 : 0;
+  }
+  double cycles_for(OpTag tag) const {
+    double c = 0;
+    for (const auto& b : breakdown)
+      if (b.tag == tag) c += b.cycles;
+    return c;
+  }
+};
+
+/// A simulated GPU. Thread-compatible: one launch at a time per Device, but
+/// independent blocks within a launch may run on multiple host threads.
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg = DeviceConfig::quadro6000())
+      : cfg_(cfg) {}
+
+  const DeviceConfig& config() const { return cfg_; }
+  DeviceConfig& mutable_config() { return cfg_; }
+
+  /// Run `body` for every thread of every block; returns full timing and
+  /// instrumentation. Functionally exact: all side effects on host memory
+  /// wrapped by ctx.global() have happened when this returns.
+  LaunchResult launch(const LaunchSpec& spec, const KernelFn& body);
+
+  /// Number of host worker threads used to run independent blocks
+  /// (defaults to std::thread::hardware_concurrency()).
+  void set_host_workers(int workers) { host_workers_ = workers; }
+
+ private:
+  DeviceConfig cfg_;
+  int host_workers_ = 0;  // 0 = auto
+};
+
+}  // namespace regla::simt

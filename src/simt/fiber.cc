@@ -1,0 +1,137 @@
+#include "simt/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/error.h"
+
+#ifndef REGLA_UCONTEXT_FIBERS
+extern "C" {
+void regla_fiber_switch(void** save_sp, void* restore_sp);
+void regla_fiber_trampoline();
+// Called from the trampoline on the fiber's own stack.
+void regla_fiber_entry_c(void* fiber);
+}
+#endif
+
+namespace regla::simt {
+
+namespace {
+// The fiber currently executing on this host thread (nullptr = scheduler).
+thread_local Fiber* t_current_fiber = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)) {
+  const std::size_t ps = page_size();
+  const std::size_t stack = (stack_bytes + ps - 1) / ps * ps;
+  map_bytes_ = stack + ps;  // one guard page below the stack
+  stack_base_ = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  REGLA_CHECK_MSG(stack_base_ != MAP_FAILED, "fiber stack mmap failed");
+  REGLA_CHECK(mprotect(stack_base_, ps, PROT_NONE) == 0);
+
+  auto* top = reinterpret_cast<std::uint8_t*>(stack_base_) + map_bytes_;
+  // 16-byte align the stack top.
+  top = reinterpret_cast<std::uint8_t*>(
+      reinterpret_cast<std::uintptr_t>(top) & ~std::uintptr_t{15});
+
+#ifdef REGLA_UCONTEXT_FIBERS
+  REGLA_CHECK(getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp = reinterpret_cast<std::uint8_t*>(stack_base_) + ps;
+  ctx_.uc_stack.ss_size = stack;
+  ctx_.uc_link = nullptr;
+  // makecontext passes int-sized arguments; split the pointer portably.
+  const auto addr = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::entry_split), 2,
+              static_cast<unsigned>(addr >> 32),
+              static_cast<unsigned>(addr & 0xffffffffu));
+#else
+  // Initial frame consumed by the first regla_fiber_switch into this fiber:
+  //   [sp+0]  r15   [sp+8]  r14   [sp+16] r13
+  //   [sp+24] r12 = this           (trampoline moves it into rdi)
+  //   [sp+32] rbx   [sp+40] rbp
+  //   [sp+48] return address = regla_fiber_trampoline
+  // After the pops and ret, rsp = sp+56; sp is chosen so that rsp is then
+  // 16-byte aligned, which makes the trampoline's `call` leave the entry
+  // function with the standard rsp % 16 == 8.
+  auto* sp = reinterpret_cast<void**>(top) - 7;
+  std::memset(sp, 0, 7 * sizeof(void*));
+  sp[3] = this;
+  sp[6] = reinterpret_cast<void*>(&regla_fiber_trampoline);
+  fiber_sp_ = sp;
+#endif
+}
+
+Fiber::~Fiber() {
+  REGLA_CHECK_MSG(!running_, "destroying a running fiber");
+  if (stack_base_ != nullptr) munmap(stack_base_, map_bytes_);
+}
+
+#ifdef REGLA_UCONTEXT_FIBERS
+void Fiber::entry_split(unsigned hi, unsigned lo) {
+  entry(reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) | lo));
+}
+#endif
+
+void Fiber::entry(Fiber* self) {
+  try {
+    self->body_();
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  self->done_ = true;
+  // Final switch back to the resumer; never returns here.
+#ifdef REGLA_UCONTEXT_FIBERS
+  swapcontext(&self->ctx_, &self->return_ctx_);
+#else
+  regla_fiber_switch(&self->fiber_sp_, self->return_sp_);
+#endif
+  REGLA_CHECK_MSG(false, "resumed a finished fiber");
+}
+
+bool Fiber::resume() {
+  REGLA_CHECK_MSG(!done_, "resume() on finished fiber");
+  REGLA_CHECK_MSG(t_current_fiber == nullptr, "nested fiber resume");
+  t_current_fiber = this;
+  running_ = true;
+#ifdef REGLA_UCONTEXT_FIBERS
+  swapcontext(&return_ctx_, &ctx_);
+#else
+  regla_fiber_switch(&return_sp_, fiber_sp_);
+#endif
+  running_ = false;
+  t_current_fiber = nullptr;
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  return !done_;
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current_fiber;
+  REGLA_CHECK_MSG(self != nullptr, "Fiber::yield() outside a fiber");
+#ifdef REGLA_UCONTEXT_FIBERS
+  swapcontext(&self->ctx_, &self->return_ctx_);
+#else
+  regla_fiber_switch(&self->fiber_sp_, self->return_sp_);
+#endif
+}
+
+}  // namespace regla::simt
+
+#ifndef REGLA_UCONTEXT_FIBERS
+extern "C" void regla_fiber_entry_c(void* fiber) {
+  regla::simt::Fiber::entry(static_cast<regla::simt::Fiber*>(fiber));
+}
+#endif

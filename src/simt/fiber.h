@@ -1,0 +1,71 @@
+// Cooperative fibers: the execution vehicle for simulated device threads.
+//
+// Every device thread in a thread block is a fiber with its own stack. The
+// block scheduler switches fibers in warp order; a fiber yields back to the
+// scheduler at __syncthreads() (and when it finishes). Switching is a
+// hand-rolled System V x86-64 context swap (callee-saved registers + stack
+// pointer, ~20 ns); configure with REGLA_UCONTEXT_FIBERS to fall back to
+// ucontext on other platforms.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+
+#ifdef REGLA_UCONTEXT_FIBERS
+#include <ucontext.h>
+#endif
+
+namespace regla::simt {
+
+/// A single cooperative fiber. Not thread-safe: a fiber is owned and resumed
+/// by exactly one host thread (the block executor).
+class Fiber {
+ public:
+  /// `body` runs on the fiber's stack; when it returns the fiber is done.
+  /// `stack_bytes` is rounded up to the page size; a guard page is placed
+  /// below the stack so overflow faults instead of corrupting the heap.
+  explicit Fiber(std::function<void()> body, std::size_t stack_bytes = 128 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Resume the fiber until it yields or finishes. Must not be called on a
+  /// finished fiber. Returns true while the fiber is still alive. An
+  /// exception thrown by the body finishes the fiber and is rethrown here,
+  /// on the resumer's stack.
+  bool resume();
+
+  /// Yield from inside the fiber back to whoever called resume().
+  /// Must be called on the currently running fiber.
+  static void yield();
+
+  bool done() const { return done_; }
+
+  /// Internal: the function that runs on the fiber's stack. Public only so
+  /// the extern "C" trampoline glue can reach it; not part of the API.
+  static void entry(Fiber* self);
+#ifdef REGLA_UCONTEXT_FIBERS
+  static void entry_split(unsigned hi, unsigned lo);
+#endif
+
+ private:
+  std::function<void()> body_;
+  void* stack_base_ = nullptr;   // mmap'd region including guard page
+  std::size_t map_bytes_ = 0;
+  bool done_ = false;
+  bool running_ = false;
+  std::exception_ptr error_;     // thrown by the body; rethrown in resume()
+
+#ifdef REGLA_UCONTEXT_FIBERS
+  ucontext_t ctx_{};
+  ucontext_t return_ctx_{};
+#else
+  void* fiber_sp_ = nullptr;     // saved stack pointer of the fiber
+  void* return_sp_ = nullptr;    // saved stack pointer of the resumer
+#endif
+};
+
+}  // namespace regla::simt

@@ -1,0 +1,48 @@
+#include "simt/occupancy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace regla::simt {
+
+const char* to_string(Occupancy::Limiter l) {
+  switch (l) {
+    case Occupancy::Limiter::registers: return "registers";
+    case Occupancy::Limiter::threads: return "threads";
+    case Occupancy::Limiter::max_blocks: return "max_blocks";
+    case Occupancy::Limiter::shared_memory: return "shared_memory";
+    default: return "none";
+  }
+}
+
+Occupancy occupancy(const DeviceConfig& cfg, int threads_per_block,
+                    int regs_per_thread, std::size_t shared_bytes_per_block) {
+  REGLA_CHECK_MSG(threads_per_block >= 1 &&
+                      threads_per_block <= cfg.max_threads_per_block,
+                  "threads per block " << threads_per_block);
+  const int regs = std::clamp(regs_per_thread, 1, cfg.max_regs_per_thread);
+
+  const int by_regs =
+      cfg.regfile_words_per_sm / (regs * threads_per_block);
+  const int by_threads = cfg.max_threads_per_sm / threads_per_block;
+  const int by_shared =
+      shared_bytes_per_block == 0
+          ? cfg.max_blocks_per_sm
+          : static_cast<int>(cfg.shared_bytes_per_sm / shared_bytes_per_block);
+  const int by_blocks = cfg.max_blocks_per_sm;
+
+  Occupancy o;
+  o.blocks_per_sm = std::min({by_regs, by_threads, by_shared, by_blocks});
+  REGLA_CHECK_MSG(o.blocks_per_sm >= 1,
+                  "launch shape does not fit on an SM: threads="
+                      << threads_per_block << " regs=" << regs
+                      << " shared=" << shared_bytes_per_block);
+  if (o.blocks_per_sm == by_regs) o.limiter = Occupancy::Limiter::registers;
+  if (o.blocks_per_sm == by_shared) o.limiter = Occupancy::Limiter::shared_memory;
+  if (o.blocks_per_sm == by_threads) o.limiter = Occupancy::Limiter::threads;
+  if (o.blocks_per_sm == by_blocks) o.limiter = Occupancy::Limiter::max_blocks;
+  return o;
+}
+
+}  // namespace regla::simt

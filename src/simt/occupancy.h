@@ -1,0 +1,27 @@
+// Replica of the CUDA occupancy calculator for the simulated chip: how many
+// blocks of a given shape are resident per SM. The paper relies on this to
+// explain the Fig. 9 performance cliff (64-thread blocks -> 8 blocks/SM,
+// 256-thread blocks at 64 regs/thread -> 2 blocks/SM).
+#pragma once
+
+#include <cstddef>
+
+#include "simt/device_config.h"
+
+namespace regla::simt {
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  enum class Limiter { none, registers, threads, max_blocks, shared_memory } limiter =
+      Limiter::none;
+};
+
+const char* to_string(Occupancy::Limiter l);
+
+/// Blocks per SM for a launch shape. regs_per_thread is clamped to the HW
+/// maximum (64 on GF100) — beyond that the compiler spills rather than
+/// allocating more registers, exactly as on the real chip.
+Occupancy occupancy(const DeviceConfig& cfg, int threads_per_block,
+                    int regs_per_thread, std::size_t shared_bytes_per_block);
+
+}  // namespace regla::simt

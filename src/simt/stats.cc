@@ -1,0 +1,17 @@
+#include "simt/stats.h"
+
+#include "simt/gfloat.h"
+
+namespace regla::simt {
+
+ThreadStats*& current_stats() {
+  thread_local ThreadStats* stats = nullptr;
+  return stats;
+}
+
+bool& fast_math_enabled() {
+  thread_local bool enabled = true;
+  return enabled;
+}
+
+}  // namespace regla::simt

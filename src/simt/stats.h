@@ -1,0 +1,134 @@
+// Per-thread event counters for the SIMT timing model.
+//
+// Device code does not carry a context through every arithmetic expression;
+// instead the block executor points `current_stats()` at the running fiber's
+// ThreadStats, and the instrumented device types (gfloat, Shared<T>,
+// Global<T>, RegTile) record events through it. At each __syncthreads() the
+// executor folds all threads' counters into a PhaseRecord and resets them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace regla::simt {
+
+/// Tags attributing phases to logical operations, for the Table V / Fig. 8
+/// breakdowns. `other` is the default.
+enum class OpTag : std::uint8_t {
+  other = 0,
+  load,        // DRAM -> register file
+  store,       // register file -> DRAM
+  form_hh,     // forming the Householder vector / column operation
+  matvec,      // matrix-vector multiply (+ its reduction)
+  rank1,       // rank-1 trailing update
+  kNumTags
+};
+
+inline const char* to_string(OpTag t) {
+  switch (t) {
+    case OpTag::load: return "load";
+    case OpTag::store: return "store";
+    case OpTag::form_hh: return "form_hh";
+    case OpTag::matvec: return "matvec";
+    case OpTag::rank1: return "rank1";
+    default: return "other";
+  }
+}
+
+/// Counters accumulated by one device thread between two sync points.
+struct ThreadStats {
+  // Arithmetic.
+  std::uint64_t flops = 0;       ///< nominal FLOPs (FMA = 2)
+  std::uint64_t fp_instrs = 0;   ///< issued FP instructions (FMA = 1)
+  std::uint64_t divs = 0;
+  std::uint64_t sqrts = 0;
+
+  // Shared memory: word accesses, with addresses for bank analysis.
+  std::uint64_t sh_accesses = 0;
+  std::vector<std::uint32_t> sh_addrs;  ///< word indices (capped)
+
+  // Global memory: 4-byte accesses with byte addresses for coalescing.
+  std::uint64_t gl_loads = 0;
+  std::uint64_t gl_stores = 0;
+  std::uint64_t gl_bytes = 0;
+  std::vector<std::uint64_t> gl_segments;  ///< addr / segment_bytes (capped)
+
+  // Register spills (accesses beyond the 64-register budget).
+  std::uint64_t spill_accesses = 0;
+  std::uint64_t spill_bytes = 0;
+
+  // Latency accumulated by *dependent* accesses (pointer chasing):
+  // each ld_dep charges its full model latency to this thread.
+  double dep_latency_cycles = 0;
+
+  static constexpr std::size_t kAddrCap = 1 << 15;
+
+  void record_shared(std::uint32_t word_index) {
+    ++sh_accesses;
+    if (sh_addrs.size() < kAddrCap) sh_addrs.push_back(word_index);
+  }
+  void record_global(std::uint64_t byte_addr, std::uint32_t bytes, bool is_load,
+                     std::uint32_t segment_bytes) {
+    if (is_load) ++gl_loads; else ++gl_stores;
+    gl_bytes += bytes;
+    if (gl_segments.size() < kAddrCap)
+      gl_segments.push_back(byte_addr / segment_bytes);
+  }
+
+  void reset() {
+    flops = fp_instrs = divs = sqrts = 0;
+    sh_accesses = 0;
+    sh_addrs.clear();
+    gl_loads = gl_stores = gl_bytes = 0;
+    gl_segments.clear();
+    spill_accesses = spill_bytes = 0;
+    dep_latency_cycles = 0;
+  }
+
+  bool empty() const {
+    return flops == 0 && fp_instrs == 0 && divs == 0 && sqrts == 0 &&
+           sh_accesses == 0 && gl_loads == 0 && gl_stores == 0 &&
+           spill_accesses == 0 && dep_latency_cycles == 0;
+  }
+};
+
+/// The executor's per-host-thread pointer at the running fiber's counters.
+ThreadStats*& current_stats();
+
+/// Aggregated per-phase result for one block (after the warp-level fold).
+struct PhaseRecord {
+  OpTag tag = OpTag::other;
+  int panel = -1;              ///< panel index for the Fig. 8 breakdown
+  bool ended_with_sync = false;
+
+  // Issue work summed over warps (see timing.cc for the cost model).
+  double fp_issue = 0;         ///< cycles of FP issue (max-lane per warp)
+  double sfu_cycles = 0;       ///< divide/sqrt issue cycles
+  double sfu_latency = 0;      ///< one-off pipeline exposure for div/sqrt
+  double sh_transactions = 0;  ///< conflict-adjusted warp transactions
+  double gl_transactions = 0;  ///< distinct DRAM segments
+  double spill_accesses = 0;
+  double dep_latency = 0;      ///< max over threads (chase chains)
+
+  std::uint64_t flops = 0;
+  std::uint64_t divs = 0;
+  std::uint64_t sqrts = 0;
+  std::uint64_t gl_bytes = 0;
+  std::uint64_t spill_bytes = 0;
+  bool any_shared = false;
+  bool any_global = false;
+  bool any_spill = false;
+};
+
+/// Whole-launch totals (all blocks).
+struct LaunchCounters {
+  std::uint64_t flops = 0;
+  std::uint64_t divs = 0;
+  std::uint64_t sqrts = 0;
+  std::uint64_t sh_accesses = 0;
+  std::uint64_t gl_bytes = 0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t syncs = 0;
+};
+
+}  // namespace regla::simt

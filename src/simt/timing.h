@@ -1,0 +1,39 @@
+// The simulator's cycle-cost model ("measured" performance in every figure).
+//
+// This is deliberately a *mechanism-level* model — issue throughput per port,
+// bank-conflict-adjusted shared transactions, coalesced DRAM segments,
+// occupancy contention, latency exposure — where the paper's analytical model
+// (src/model) is an *operation-count* model. The two are implemented
+// independently and compared in the Fig. 4/8/9 benches.
+#pragma once
+
+#include <vector>
+
+#include "simt/device_config.h"
+#include "simt/stats.h"
+
+namespace regla::simt {
+
+/// Fold one phase's per-thread counters into a PhaseRecord (warp-level SIMT
+/// fold: issue counts are max-over-lanes; shared transactions account for
+/// bank conflicts; global transactions are distinct 128-byte segments).
+PhaseRecord fold_phase(const DeviceConfig& cfg,
+                       const std::vector<ThreadStats>& threads, OpTag tag,
+                       int panel, bool ended_with_sync);
+
+/// Cycle cost of one phase for a block, with `k_blocks` blocks of the same
+/// kernel resident per SM (they contend for every issue port and for the
+/// SM's share of DRAM bandwidth).
+double phase_cycles(const DeviceConfig& cfg, const PhaseRecord& p, int k_blocks,
+                    int threads_per_block);
+
+/// Sum of phase_cycles over a block's phases.
+double block_cycles(const DeviceConfig& cfg, const std::vector<PhaseRecord>& phases,
+                    int k_blocks, int threads_per_block);
+
+/// Whole-chip time: wave-packed block times with a hard DRAM-bandwidth floor.
+/// `block_times` has one entry per launched block.
+double chip_cycles(const DeviceConfig& cfg, const std::vector<double>& block_times,
+                   int k_blocks, std::uint64_t total_dram_bytes);
+
+}  // namespace regla::simt

@@ -1,0 +1,51 @@
+#include "simt/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace regla::simt {
+
+void write_chrome_trace(const LaunchResult& result, std::ostream& os,
+                        const std::string& kernel_name) {
+  // Order slices by (panel, tag) — the natural execution order of the
+  // factorization kernels (load first: panel -1 load, then panels, store).
+  std::vector<TaggedCycles> slices = result.breakdown;
+  std::stable_sort(slices.begin(), slices.end(),
+                   [](const TaggedCycles& a, const TaggedCycles& b) {
+                     if (a.panel != b.panel) {
+                       // load/store carry panel -1; put load first, store last
+                       if (a.panel < 0 || b.panel < 0)
+                         return (a.tag == OpTag::load) || (b.tag == OpTag::store);
+                       return a.panel < b.panel;
+                     }
+                     return static_cast<int>(a.tag) < static_cast<int>(b.tag);
+                   });
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  double cursor = 0;
+  bool first = true;
+  for (const auto& s : slices) {
+    if (s.cycles <= 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << to_string(s.tag);
+    if (s.panel >= 0) os << " p" << s.panel;
+    os << "\",\"cat\":\"" << kernel_name << "\",\"ph\":\"X\",\"ts\":" << cursor
+       << ",\"dur\":" << s.cycles << ",\"pid\":1,\"tid\":"
+       << static_cast<int>(s.tag) + 1 << "}";
+    cursor += s.cycles;
+  }
+  os << "]}";
+}
+
+void write_chrome_trace(const LaunchResult& result, const std::string& path,
+                        const std::string& kernel_name) {
+  std::ofstream f(path);
+  REGLA_CHECK_MSG(f.good(), "cannot open trace file " << path);
+  write_chrome_trace(result, f, kernel_name);
+}
+
+}  // namespace regla::simt

@@ -1,0 +1,22 @@
+// Chrome-trace export of a launch's per-phase timeline: load the JSON into
+// chrome://tracing or Perfetto to see where a kernel's simulated cycles go
+// (one track per operation tag, one slice per phase group).
+#pragma once
+
+#include <string>
+
+#include "simt/engine.h"
+
+namespace regla::simt {
+
+/// Write the launch's tag/panel breakdown as a Chrome trace-event JSON file.
+/// Slices are laid out sequentially in per-block average cycle time (the
+/// simulator's block timeline), one trace thread per OpTag.
+void write_chrome_trace(const LaunchResult& result, const std::string& path,
+                        const std::string& kernel_name = "kernel");
+
+/// Same, to any stream (for tests).
+void write_chrome_trace(const LaunchResult& result, std::ostream& os,
+                        const std::string& kernel_name = "kernel");
+
+}  // namespace regla::simt

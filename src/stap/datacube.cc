@@ -1,0 +1,84 @@
+#include "stap/datacube.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace regla::stap {
+
+namespace {
+constexpr float kTwoPi = 6.28318530717958647692f;
+
+cfloat cexp2pi(float x) {
+  return {std::cos(kTwoPi * x), std::sin(kTwoPi * x)};
+}
+}  // namespace
+
+Datacube make_datacube(const StapScenario& sc, const std::vector<Target>& targets) {
+  REGLA_CHECK(sc.pulses >= sc.taps);
+  Datacube cube(sc.channels, sc.pulses, sc.ranges);
+  Rng rng(sc.seed);
+
+  // Thermal noise: CN(0, 1) everywhere.
+  const float inv_sqrt2 = 0.70710678f;
+  for (int r = 0; r < sc.ranges; ++r)
+    for (int p = 0; p < sc.pulses; ++p)
+      for (int c = 0; c < sc.channels; ++c)
+        cube.at(c, p, r) = rng.cnormal() * inv_sqrt2;
+
+  // Clutter ridge: patches uniform in spatial frequency, doppler coupled by
+  // the platform-motion slope; independent complex amplitude per (patch,
+  // range) with total power set by the CNR.
+  const float patch_power =
+      std::pow(10.0f, sc.cnr_db / 10.0f) / static_cast<float>(sc.clutter_patches);
+  const float patch_amp = std::sqrt(patch_power);
+  std::vector<float> patch_nu(sc.clutter_patches);
+  for (int q = 0; q < sc.clutter_patches; ++q)
+    patch_nu[q] = -0.5f + (q + 0.5f) / sc.clutter_patches;
+
+  for (int r = 0; r < sc.ranges; ++r) {
+    for (int q = 0; q < sc.clutter_patches; ++q) {
+      const float nu = patch_nu[q];
+      const float omega = sc.clutter_slope * nu;
+      const cfloat amp = rng.cnormal() * (patch_amp * inv_sqrt2);
+      for (int p = 0; p < sc.pulses; ++p) {
+        const cfloat pulse_phase = amp * cexp2pi(omega * p);
+        for (int c = 0; c < sc.channels; ++c)
+          cube.at(c, p, r) += pulse_phase * cexp2pi(nu * c);
+      }
+    }
+  }
+
+  // Targets.
+  for (const Target& t : targets) {
+    REGLA_CHECK(t.range >= 0 && t.range < sc.ranges);
+    const float amp = std::pow(10.0f, t.snr_db / 20.0f);
+    for (int p = 0; p < sc.pulses; ++p)
+      for (int c = 0; c < sc.channels; ++c)
+        cube.at(c, p, t.range) +=
+            amp * cexp2pi(t.spatial_freq * c + t.doppler_freq * p);
+  }
+  return cube;
+}
+
+std::vector<cfloat> steering(const StapScenario& sc, float spatial, float doppler) {
+  std::vector<cfloat> v(static_cast<std::size_t>(sc.dof()));
+  const float norm = 1.0f / std::sqrt(static_cast<float>(sc.dof()));
+  for (int t = 0; t < sc.taps; ++t)
+    for (int c = 0; c < sc.channels; ++c)
+      v[c + static_cast<std::size_t>(t) * sc.channels] =
+          norm * cexp2pi(spatial * c + doppler * t);
+  return v;
+}
+
+std::vector<cfloat> snapshot(const Datacube& cube, const StapScenario& sc, int r,
+                             int p0) {
+  REGLA_CHECK(p0 + sc.taps <= sc.pulses && r >= 0 && r < sc.ranges);
+  std::vector<cfloat> z(static_cast<std::size_t>(sc.dof()));
+  for (int t = 0; t < sc.taps; ++t)
+    for (int c = 0; c < sc.channels; ++c)
+      z[c + static_cast<std::size_t>(t) * sc.channels] = cube.at(c, p0 + t, r);
+  return z;
+}
+
+}  // namespace regla::stap

@@ -1,0 +1,82 @@
+// Synthetic radar datacube generation for space-time adaptive processing.
+//
+// The paper benchmarks the RT_STAP complex-QR sizes but does not need real
+// radar data — any training matrices of the right shape exercise the kernel.
+// We still generate a physically structured cube (clutter ridge + thermal
+// noise + injected targets) so the application example can demonstrate
+// end-to-end adaptive detection, not just factorization throughput.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace regla::stap {
+
+using cfloat = std::complex<float>;
+
+/// Scenario geometry. The STAP dimensions are n = channels * taps (spatial
+/// x temporal degrees of freedom) and m = training_rows snapshots; the
+/// RT_STAP benchmark shapes map to e.g. {8 ch, 2 taps, 80 rows} = 80 x 16.
+struct StapScenario {
+  int channels = 8;
+  int taps = 2;            ///< temporal taps per snapshot (sub-CPI length)
+  int pulses = 32;         ///< pulses in the CPI (>= taps)
+  int ranges = 512;        ///< range gates in the cube
+  int training_rows = 80;  ///< m: snapshots per covariance estimate
+  int num_matrices = 384;  ///< independent QR problems (range segments)
+  int clutter_patches = 61;
+  float cnr_db = 40.0f;    ///< clutter-to-noise ratio
+  float clutter_slope = 1.0f;  ///< doppler = slope * spatial (the ridge)
+  std::uint64_t seed = 2012;
+
+  int dof() const { return channels * taps; }
+};
+
+/// A point target injected into the cube.
+struct Target {
+  int range = 0;
+  float spatial_freq = 0.25f;   ///< normalized, in [-0.5, 0.5)
+  float doppler_freq = -0.2f;   ///< normalized, in [-0.5, 0.5)
+  float snr_db = 20.0f;
+};
+
+/// channels x pulses x ranges complex cube.
+class Datacube {
+ public:
+  Datacube(int channels, int pulses, int ranges)
+      : channels_(channels), pulses_(pulses), ranges_(ranges),
+        data_(static_cast<std::size_t>(channels) * pulses * ranges) {}
+
+  cfloat& at(int c, int p, int r) {
+    return data_[c + static_cast<std::size_t>(p) * channels_ +
+                 static_cast<std::size_t>(r) * channels_ * pulses_];
+  }
+  const cfloat& at(int c, int p, int r) const {
+    return const_cast<Datacube*>(this)->at(c, p, r);
+  }
+
+  int channels() const { return channels_; }
+  int pulses() const { return pulses_; }
+  int ranges() const { return ranges_; }
+
+ private:
+  int channels_, pulses_, ranges_;
+  std::vector<cfloat> data_;
+};
+
+/// Generate clutter + noise + targets.
+Datacube make_datacube(const StapScenario& sc, const std::vector<Target>& targets);
+
+/// Space-time steering vector for (spatial, doppler) over channels x taps,
+/// unit-normalized, channel-fastest ordering.
+std::vector<cfloat> steering(const StapScenario& sc, float spatial, float doppler);
+
+/// Space-time snapshot at (range r, pulse-window start p0): channels x taps
+/// flattened channel-fastest.
+std::vector<cfloat> snapshot(const Datacube& cube, const StapScenario& sc, int r,
+                             int p0);
+
+}  // namespace regla::stap

@@ -1,0 +1,6 @@
+// Umbrella header for the space-time adaptive processing application
+// (paper §VII, the RT_STAP benchmark workload).
+#pragma once
+
+#include "stap/datacube.h"  // IWYU pragma: export
+#include "stap/pipeline.h"  // IWYU pragma: export

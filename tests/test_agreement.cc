@@ -1,0 +1,158 @@
+// Cross-validation of the three performance views the paper builds:
+// instrumented kernels (simulator "measured"), the analytical model
+// ("predicted"), and the textbook operation counts. These are the claims
+// behind Figs. 4, 8 and 9.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/generators.h"
+#include "core/core.h"
+#include "model/model.h"
+
+namespace regla {
+namespace {
+
+TEST(Agreement, PerThreadMeasuredTracksEq1WhileTilesFit) {
+  // Fig. 4: "performance follows arithmetic intensity nearly perfectly for
+  // both LU and QR until n = 8".
+  simt::Device dev;
+  for (int n = 3; n <= 7; ++n) {
+    BatchF b(7168, n, n);
+    fill_uniform(b, n);
+    const double measured = core::qr_per_thread(dev, b).gflops();
+    const double predicted =
+        model::predict_per_thread(dev.config(), model::qr_flops(n, n),
+                                  model::matrix_traffic_bytes(n, n), 7168,
+                                  n * n + 15)
+            .gflops;
+    EXPECT_NEAR(measured / predicted, 1.0, 0.10) << "n=" << n;
+  }
+}
+
+TEST(Agreement, PerThreadModelDivergesOnceSpilling) {
+  // Fig. 4 past n = 8: the model (which ignores spilling) over-predicts.
+  simt::Device dev;
+  BatchF b(7168, 10, 10);
+  fill_uniform(b, 1);
+  const double measured = core::qr_per_thread(dev, b).gflops();
+  const double predicted =
+      model::predict_per_thread(dev.config(), model::qr_flops(10, 10),
+                                model::matrix_traffic_bytes(10, 10), 7168, 115)
+          .gflops;
+  EXPECT_LT(measured, 0.5 * predicted);
+}
+
+TEST(Agreement, PerBlockMeasuredWithinModelBand) {
+  // Fig. 9: model and measurement agree through the non-spilling sizes.
+  simt::Device dev;
+  for (int n : {24, 40, 56}) {
+    BatchF b(112, n, n);
+    fill_uniform(b, n);
+    const double measured = core::qr_per_block(dev, b).gflops();
+    const double predicted =
+        model::predict_per_block(dev.config(), model::BlockAlg::qr, n, n, 64)
+            .gflops;
+    EXPECT_GT(measured, 0.5 * predicted) << "n=" << n;
+    EXPECT_LT(measured, 1.5 * predicted) << "n=" << n;
+  }
+}
+
+TEST(Agreement, PerBlockLuWithinModelBand) {
+  simt::Device dev;
+  for (int n : {24, 40, 56}) {
+    BatchF b(112, n, n);
+    fill_diag_dominant(b, n);
+    const double measured = core::lu_per_block(dev, b).gflops();
+    const double predicted =
+        model::predict_per_block(dev.config(), model::BlockAlg::lu, n, n, 64)
+            .gflops;
+    EXPECT_GT(measured, 0.45 * predicted) << "n=" << n;
+    EXPECT_LT(measured, 1.6 * predicted) << "n=" << n;
+  }
+}
+
+TEST(Agreement, PanelBreakdownShapesMatch) {
+  // Fig. 8: per-panel cycles decrease monotonically in both views, and the
+  // trailing-update work (matvec + rank1) dominates the column op.
+  simt::Device dev;
+  // Full residency (8 blocks/SM), matching the model's contention assumption.
+  BatchF b(112, 56, 56);
+  fill_uniform(b, 3);
+  const auto run = core::qr_per_block(dev, b, nullptr, {64, core::Layout::cyclic2d});
+  std::map<int, double> measured_panels;
+  double matvec = 0, rank1 = 0, form = 0;
+  for (const auto& t : run.launch.breakdown) {
+    if (t.panel < 0) continue;
+    measured_panels[t.panel] += t.cycles;
+    if (t.tag == simt::OpTag::matvec) matvec += t.cycles;
+    if (t.tag == simt::OpTag::rank1) rank1 += t.cycles;
+    if (t.tag == simt::OpTag::form_hh) form += t.cycles;
+  }
+  ASSERT_EQ(measured_panels.size(), 7u);
+  for (int p = 1; p < 7; ++p)
+    EXPECT_LT(measured_panels[p], measured_panels[p - 1]) << "panel " << p;
+  EXPECT_GT(matvec + rank1, form);
+
+  const auto pred =
+      model::predict_per_block(dev.config(), model::BlockAlg::qr, 56, 56, 64);
+  for (std::size_t p = 1; p < pred.panels.size(); ++p)
+    EXPECT_LT(pred.panels[p].total(), pred.panels[p - 1].total());
+  // Total compute within a factor-2 band between the two views.
+  double measured_total = 0;
+  for (const auto& [p, c] : measured_panels) measured_total += c;
+  EXPECT_GT(measured_total, 0.5 * pred.compute_cycles);
+  EXPECT_LT(measured_total, 2.0 * pred.compute_cycles);
+}
+
+TEST(Agreement, MeasuredCyclesInTableVRegime) {
+  // Table V: 56x56 per-block QR compute ~150k cycles, LU ~68k, measured
+  // with 8 blocks resident per SM (the paper runs 112 problems across the
+  // chip). Stay within the same regime.
+  simt::Device dev;
+  BatchF q(112, 56, 56), l(112, 56, 56);
+  fill_uniform(q, 1);
+  fill_diag_dominant(l, 2);
+  const auto rq = core::qr_per_block(dev, q);
+  const auto rl = core::lu_per_block(dev, l);
+  const double qr_compute =
+      rq.launch.block_cycles_avg - rq.launch.cycles_for(simt::OpTag::load) -
+      rq.launch.cycles_for(simt::OpTag::store);
+  const double lu_compute =
+      rl.launch.block_cycles_avg - rl.launch.cycles_for(simt::OpTag::load) -
+      rl.launch.cycles_for(simt::OpTag::store);
+  EXPECT_GT(qr_compute, 75'000);
+  EXPECT_LT(qr_compute, 300'000);
+  EXPECT_GT(lu_compute, 34'000);
+  EXPECT_LT(lu_compute, 140'000);
+  EXPECT_GT(qr_compute, 1.5 * lu_compute);  // QR costs ~2.2x LU in Table V
+}
+
+TEST(Agreement, OccupancyCliffAt80Reproduced) {
+  // Fig. 9: "the sharp drop from 64 to 80 happens because we switch from 64
+  // to 256 threads".
+  simt::Device dev;
+  BatchF b72(112, 72, 72), b80(42, 80, 80);
+  fill_uniform(b72, 1);
+  fill_uniform(b80, 2);
+  const auto r56 = [&] {
+    BatchF b(112, 56, 56);
+    fill_uniform(b, 3);
+    return core::qr_per_block(dev, b).gflops();
+  }();
+  const auto r80 = core::qr_per_block(dev, b80).gflops();
+  EXPECT_LT(r80, r56);  // the cliff
+}
+
+TEST(Agreement, InstrumentedFlopsMatchNominalPerBlock) {
+  simt::Device dev;
+  const int n = 48;
+  BatchF b(4, n, n);
+  fill_uniform(b, 9);
+  const auto r = core::qr_per_block(dev, b);
+  const double nominal = model::qr_flops(n, n) * 4;
+  EXPECT_NEAR(static_cast<double>(r.launch.totals.flops) / nominal, 1.0, 0.35);
+}
+
+}  // namespace
+}  // namespace regla

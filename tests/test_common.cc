@@ -1,0 +1,203 @@
+// Tests for the common substrate: RNG, matrices, generators, norms, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/generators.h"
+#include "common/matrix.h"
+#include "common/norms.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace regla {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u32() == b.next_u32());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng.uniform();
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+}
+
+TEST(Rng, UniformMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Matrix, ColumnMajorIndexing) {
+  Matrix<float> m(3, 2);
+  m(2, 1) = 5.0f;
+  EXPECT_EQ(m.data()[2 + 1 * 3], 5.0f);
+  EXPECT_EQ(m.ld(), 3);
+}
+
+TEST(Matrix, BlockViewAliases) {
+  Matrix<float> m(4, 4);
+  auto blk = m.block(1, 2, 2, 2);
+  blk(0, 0) = 9.0f;
+  EXPECT_EQ(m(1, 2), 9.0f);
+  EXPECT_EQ(blk.ld(), 4);
+}
+
+TEST(Matrix, BlockOutOfRangeThrows) {
+  Matrix<float> m(4, 4);
+  EXPECT_THROW(m.block(2, 2, 3, 1), Error);
+}
+
+TEST(BatchedMatrix, ProblemMajorLayout) {
+  BatchF b(3, 2, 2);
+  b.at(2, 1, 1) = 7.0f;
+  EXPECT_EQ(b.data()[2 * 4 + 3], 7.0f);
+  EXPECT_EQ(b.stride(), 4u);
+  EXPECT_EQ(b.bytes(), 3u * 4u * sizeof(float));
+}
+
+TEST(BatchedMatrix, MatrixViewIsSlab) {
+  BatchF b(2, 3, 3);
+  b.matrix(1)(0, 0) = 4.0f;
+  EXPECT_EQ(b.at(1, 0, 0), 4.0f);
+  EXPECT_THROW(b.matrix(2), Error);
+}
+
+TEST(Generators, DiagDominantIsDominant) {
+  Rng rng(3);
+  Matrix<float> a(16, 16);
+  fill_diag_dominant(a.view(), rng);
+  for (int i = 0; i < 16; ++i) {
+    float off = 0;
+    for (int j = 0; j < 16; ++j)
+      if (j != i) off += std::fabs(a(i, j));
+    EXPECT_GT(std::fabs(a(i, i)), off) << "row " << i;
+  }
+}
+
+TEST(Generators, ComplexDiagDominantIsDominant) {
+  Rng rng(5);
+  MatrixC a(12, 12);
+  fill_diag_dominant(a.view(), rng);
+  for (int i = 0; i < 12; ++i) {
+    float off = 0;
+    for (int j = 0; j < 12; ++j)
+      if (j != i) off += std::abs(a(i, j));
+    EXPECT_GT(std::abs(a(i, i)), off);
+  }
+}
+
+TEST(Generators, SymmetricIsSymmetric) {
+  Rng rng(9);
+  Matrix<float> a(10, 10);
+  fill_symmetric(a.view(), rng);
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 10; ++j) EXPECT_EQ(a(i, j), a(j, i));
+}
+
+TEST(Generators, HermitianIsHermitian) {
+  Rng rng(9);
+  MatrixC a(8, 8);
+  fill_hermitian(a.view(), rng);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) EXPECT_EQ(a(i, j), std::conj(a(j, i)));
+}
+
+TEST(Generators, BatchProblemsDecorrelated) {
+  BatchF b(2, 4, 4);
+  fill_uniform(b, 1);
+  EXPECT_NE(b.at(0, 0, 0), b.at(1, 0, 0));
+}
+
+TEST(Norms, FrobeniusKnownValue) {
+  Matrix<float> a(2, 2);
+  a(0, 0) = 3.0f;
+  a(1, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(frob_norm(a.view()), 5.0f);
+}
+
+TEST(Norms, IdentityIsOrthogonal) {
+  Matrix<float> q(5, 5);
+  fill_identity(q.view());
+  EXPECT_LT(orthogonality_error(q.view()), 1e-7f);
+}
+
+TEST(Norms, NonOrthogonalDetected) {
+  Matrix<float> q(3, 3);
+  fill_identity(q.view());
+  q(0, 1) = 0.5f;
+  EXPECT_GT(orthogonality_error(q.view()), 0.1f);
+}
+
+TEST(Norms, LuResidualOnHandFactorization) {
+  // A = [[2, 1], [4, 5]]: L21 = 2, U = [[2, 1], [0, 3]].
+  Matrix<float> a(2, 2), lu(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 4; a(1, 1) = 5;
+  lu(0, 0) = 2; lu(0, 1) = 1; lu(1, 0) = 2; lu(1, 1) = 3;
+  EXPECT_LT(lu_residual(a.view(), lu.view()), 1e-7f);
+  lu(1, 1) = 4;  // corrupt
+  EXPECT_GT(lu_residual(a.view(), lu.view()), 0.05f);
+}
+
+TEST(Norms, SolveResidualDetectsWrongX) {
+  Matrix<float> a(2, 2), x(2, 1), b(2, 1);
+  fill_identity(a.view());
+  x(0, 0) = 1; x(1, 0) = 2;
+  b(0, 0) = 1; b(1, 0) = 2;
+  EXPECT_LT(solve_residual(a.view(), x.view(), b.view()), 1e-7f);
+  x(1, 0) = 3;
+  EXPECT_GT(solve_residual(a.view(), x.view(), b.view()), 0.05f);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"n", "gflops"});
+  t.precision(1);
+  t.add_row({std::string("8"), 12.34});
+  t.add_row({std::string("16"), 56.78});
+  std::ostringstream pretty, csv;
+  t.print(pretty, "demo");
+  t.write_csv(csv);
+  EXPECT_NE(pretty.str().find("demo"), std::string::npos);
+  EXPECT_NE(pretty.str().find("12.3"), std::string::npos);
+  EXPECT_EQ(csv.str(), "n,gflops\n8,12.3\n16,56.8\n");
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), Error);
+}
+
+}  // namespace
+}  // namespace regla

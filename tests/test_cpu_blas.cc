@@ -1,0 +1,133 @@
+// Tests for the CPU BLAS subset.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/generators.h"
+#include "common/rng.h"
+#include "cpu/blas.h"
+
+namespace regla::cpu {
+namespace {
+
+TEST(Blas1, Nrm2KnownValue) {
+  const float x[] = {3.0f, 0.0f, 4.0f};
+  EXPECT_FLOAT_EQ(snrm2(3, x, 1), 5.0f);
+}
+
+TEST(Blas1, Nrm2Strided) {
+  const float x[] = {3.0f, 99.0f, 4.0f, 99.0f};
+  EXPECT_FLOAT_EQ(snrm2(2, x, 2), 5.0f);
+}
+
+TEST(Blas1, ComplexNrm2) {
+  const cfloat x[] = {{3.0f, 4.0f}, {0.0f, 0.0f}};
+  EXPECT_FLOAT_EQ(scnrm2(2, x, 1), 5.0f);
+}
+
+TEST(Blas1, ScalAxpyDot) {
+  float x[] = {1.0f, 2.0f, 3.0f};
+  float y[] = {1.0f, 1.0f, 1.0f};
+  sscal(3, 2.0f, x, 1);
+  EXPECT_FLOAT_EQ(x[2], 6.0f);
+  saxpy(3, 0.5f, x, 1, y, 1);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  EXPECT_FLOAT_EQ(sdot(3, x, 1, x, 1), 4.0f + 16.0f + 36.0f);
+}
+
+TEST(Blas1, CdotcConjugatesFirstArg) {
+  const cfloat x[] = {{0.0f, 1.0f}};
+  const cfloat y[] = {{0.0f, 1.0f}};
+  const cfloat d = cdotc(1, x, 1, y, 1);
+  EXPECT_FLOAT_EQ(d.real(), 1.0f);
+  EXPECT_FLOAT_EQ(d.imag(), 0.0f);
+}
+
+TEST(Blas2, GemvAgainstManual) {
+  Matrix<float> a(3, 2);
+  a(0, 0) = 1; a(1, 0) = 2; a(2, 0) = 3;
+  a(0, 1) = 4; a(1, 1) = 5; a(2, 1) = 6;
+  const float x[] = {1.0f, -1.0f};
+  float y[] = {0.0f, 0.0f, 0.0f};
+  sgemv('N', 1.0f, a.view(), x, 0.0f, y);
+  EXPECT_FLOAT_EQ(y[0], -3.0f);
+  EXPECT_FLOAT_EQ(y[2], -3.0f);
+  const float xt[] = {1.0f, 1.0f, 1.0f};
+  float yt[] = {0.0f, 0.0f};
+  sgemv('T', 2.0f, a.view(), xt, 0.0f, yt);
+  EXPECT_FLOAT_EQ(yt[0], 12.0f);
+  EXPECT_FLOAT_EQ(yt[1], 30.0f);
+}
+
+TEST(Blas2, GerRankOneUpdate) {
+  Matrix<float> a(2, 2);
+  const float x[] = {1.0f, 2.0f};
+  const float y[] = {3.0f, 4.0f};
+  sger(1.0f, x, y, a.view());
+  EXPECT_FLOAT_EQ(a(1, 1), 8.0f);
+  EXPECT_FLOAT_EQ(a(0, 1), 4.0f);
+}
+
+TEST(Blas3, GemmAllTransposeCombos) {
+  Rng rng(4);
+  Matrix<float> a(5, 7), b(7, 6), c_ref(5, 6);
+  fill_uniform(a.view(), rng);
+  fill_uniform(b.view(), rng);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 5; ++i) {
+      float acc = 0;
+      for (int k = 0; k < 7; ++k) acc += a(i, k) * b(k, j);
+      c_ref(i, j) = acc;
+    }
+  Matrix<float> at(7, 5), bt(6, 7);
+  for (int i = 0; i < 5; ++i)
+    for (int k = 0; k < 7; ++k) at(k, i) = a(i, k);
+  for (int k = 0; k < 7; ++k)
+    for (int j = 0; j < 6; ++j) bt(j, k) = b(k, j);
+
+  const struct { char ta, tb; const Matrix<float>*pa, *pb; } cases[] = {
+      {'N', 'N', &a, &b}, {'T', 'N', &at, &b}, {'N', 'T', &a, &bt},
+      {'T', 'T', &at, &bt}};
+  for (const auto& cs : cases) {
+    Matrix<float> c(5, 6);
+    sgemm(cs.ta, cs.tb, 1.0f, cs.pa->view(), cs.pb->view(), 0.0f, c.view());
+    for (int j = 0; j < 6; ++j)
+      for (int i = 0; i < 5; ++i)
+        EXPECT_NEAR(c(i, j), c_ref(i, j), 1e-4f)
+            << cs.ta << cs.tb << " at " << i << "," << j;
+  }
+}
+
+TEST(Blas3, GemmAlphaBeta) {
+  Matrix<float> a(2, 2), b(2, 2), c(2, 2);
+  fill_identity(a.view());
+  fill_identity(b.view());
+  c(0, 0) = 10.0f;
+  sgemm('N', 'N', 2.0f, a.view(), b.view(), 0.5f, c.view());
+  EXPECT_FLOAT_EQ(c(0, 0), 7.0f);  // 2*1 + 0.5*10
+}
+
+TEST(Blas3, UpperTriangularSolve) {
+  Matrix<float> u(3, 3), x(3, 1);
+  u(0, 0) = 2; u(0, 1) = 1; u(0, 2) = 1;
+  u(1, 1) = 3; u(1, 2) = 2;
+  u(2, 2) = 4;
+  x(0, 0) = 7; x(1, 0) = 11; x(2, 0) = 8;
+  strsm_upper_left(u.view(), x.view());
+  EXPECT_FLOAT_EQ(x(2, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x(1, 0), (11.0f - 2 * 2) / 3);
+  EXPECT_NEAR(x(0, 0), (7.0f - 1 * x(1, 0) - 1 * 2) / 2, 1e-6f);
+}
+
+TEST(Blas3, UnitLowerTriangularSolve) {
+  Matrix<float> l(2, 2), x(2, 1);
+  l(1, 0) = 3.0f;  // unit diagonal implied
+  x(0, 0) = 2.0f;
+  x(1, 0) = 7.0f;
+  strsm_unit_lower_left(l.view(), x.view());
+  EXPECT_FLOAT_EQ(x(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x(1, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace regla::cpu

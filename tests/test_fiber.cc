@@ -1,0 +1,110 @@
+// Tests for the cooperative fiber layer that carries simulated device
+// threads.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "simt/fiber.h"
+
+namespace regla::simt {
+namespace {
+
+TEST(Fiber, RunsToCompletionWithoutYield) {
+  int x = 0;
+  Fiber f([&] { x = 42; });
+  EXPECT_FALSE(f.resume());
+  EXPECT_TRUE(f.done());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> trace;
+  Fiber f([&] {
+    trace.push_back(1);
+    Fiber::yield();
+    trace.push_back(2);
+    Fiber::yield();
+    trace.push_back(3);
+  });
+  EXPECT_TRUE(f.resume());
+  trace.push_back(10);
+  EXPECT_TRUE(f.resume());
+  trace.push_back(20);
+  EXPECT_FALSE(f.resume());
+  EXPECT_EQ(trace, (std::vector<int>{1, 10, 2, 20, 3}));
+}
+
+TEST(Fiber, ResumeAfterDoneThrows) {
+  Fiber f([] {});
+  f.resume();
+  EXPECT_THROW(f.resume(), Error);
+}
+
+TEST(Fiber, ManyFibersInterleaveRoundRobin) {
+  constexpr int kN = 64;
+  std::vector<int> order;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  for (int i = 0; i < kN; ++i)
+    fibers.push_back(std::make_unique<Fiber>([&order, i] {
+      order.push_back(i);
+      Fiber::yield();
+      order.push_back(i + kN);
+    }));
+  for (auto& f : fibers) f->resume();
+  for (auto& f : fibers) EXPECT_FALSE(f->resume());
+  ASSERT_EQ(order.size(), 2u * kN);
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(order[i], i);
+    EXPECT_EQ(order[kN + i], kN + i);
+  }
+}
+
+TEST(Fiber, LocalStateSurvivesYields) {
+  double result = 0;
+  Fiber f([&] {
+    // Callee-saved registers and stack locals must survive switches.
+    double acc = 1.0;
+    for (int i = 1; i <= 10; ++i) {
+      acc *= i;
+      Fiber::yield();
+    }
+    result = acc;
+  });
+  while (f.resume()) {
+  }
+  EXPECT_DOUBLE_EQ(result, 3628800.0);
+}
+
+TEST(Fiber, DeepStackUsage) {
+  // Recurse enough to exercise a good chunk of the default 128 KB stack.
+  int depth_reached = 0;
+  std::function<void(int)> recurse = [&](int d) {
+    volatile char pad[512];
+    pad[0] = static_cast<char>(d);
+    (void)pad;
+    depth_reached = std::max(depth_reached, d);
+    if (d < 150) recurse(d + 1);
+  };
+  Fiber f([&] { recurse(0); });
+  f.resume();
+  EXPECT_EQ(depth_reached, 150);
+}
+
+TEST(Fiber, YieldOutsideFiberThrows) {
+  EXPECT_THROW(Fiber::yield(), Error);
+}
+
+TEST(Fiber, ThousandsOfFibers) {
+  constexpr int kN = 2000;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  long sum = 0;
+  for (int i = 0; i < kN; ++i)
+    fibers.push_back(std::make_unique<Fiber>([&sum, i] { sum += i; }, 64 * 1024));
+  for (auto& f : fibers) f->resume();
+  EXPECT_EQ(sum, static_cast<long>(kN) * (kN - 1) / 2);
+}
+
+}  // namespace
+}  // namespace regla::simt

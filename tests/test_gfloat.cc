@@ -1,0 +1,126 @@
+// Tests for the instrumented device scalars: FLOP counting and the 22-bit
+// fast-math rounding of division and square root.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/rng.h"
+#include "simt/gfloat.h"
+
+namespace regla::simt {
+namespace {
+
+class GfloatCounting : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    current_stats() = &stats_;
+    fast_math_enabled() = true;
+  }
+  void TearDown() override { current_stats() = nullptr; }
+  ThreadStats stats_;
+};
+
+TEST_F(GfloatCounting, AddMulCountOneFlopOneInstr) {
+  gfloat a(2.0f), b(3.0f);
+  gfloat c = a + b;
+  gfloat d = a * b;
+  EXPECT_EQ(c.value(), 5.0f);
+  EXPECT_EQ(d.value(), 6.0f);
+  EXPECT_EQ(stats_.flops, 2u);
+  EXPECT_EQ(stats_.fp_instrs, 2u);
+}
+
+TEST_F(GfloatCounting, FmaCountsTwoFlopsOneInstr) {
+  gfloat r = gfma(gfloat(2.0f), gfloat(3.0f), gfloat(4.0f));
+  EXPECT_EQ(r.value(), 10.0f);
+  EXPECT_EQ(stats_.flops, 2u);
+  EXPECT_EQ(stats_.fp_instrs, 1u);
+}
+
+TEST_F(GfloatCounting, DivisionCounted) {
+  gfloat r = gfloat(1.0f) / gfloat(3.0f);
+  EXPECT_NEAR(r.value(), 1.0f / 3.0f, 1e-6f);
+  EXPECT_EQ(stats_.divs, 1u);
+}
+
+TEST_F(GfloatCounting, SqrtCounted) {
+  gfloat r = gsqrt(gfloat(2.0f));
+  EXPECT_NEAR(r.value(), std::sqrt(2.0f), 1e-6f);
+  EXPECT_EQ(stats_.sqrts, 1u);
+}
+
+TEST_F(GfloatCounting, NegationAndCompareFree) {
+  gfloat a(2.0f);
+  gfloat b = -a;
+  bool lt = b < a;
+  EXPECT_TRUE(lt);
+  EXPECT_EQ(stats_.flops, 0u);
+}
+
+TEST_F(GfloatCounting, ComplexMulCountsRealFlops) {
+  gcomplex a(gfloat(1.0f), gfloat(2.0f)), b(gfloat(3.0f), gfloat(4.0f));
+  gcomplex c = a * b;
+  EXPECT_FLOAT_EQ(c.re().value(), -5.0f);
+  EXPECT_FLOAT_EQ(c.im().value(), 10.0f);
+  // 2 gfma (2 flops each) + 2 muls = 6 real flops.
+  EXPECT_EQ(stats_.flops, 6u);
+}
+
+TEST(GfloatFastMath, DivisionAccurateTo22Bits) {
+  fast_math_enabled() = true;
+  Rng rng(1);
+  float worst = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const float a = rng.uniform(0.1f, 10.0f);
+    const float b = rng.uniform(0.1f, 10.0f);
+    const float fast = (gfloat(a) / gfloat(b)).value();
+    const float exact = a / b;
+    worst = std::max(worst, std::fabs(fast - exact) / std::fabs(exact));
+  }
+  // 22 good mantissa bits: relative error ~2^-22; full precision is 2^-24.
+  EXPECT_LT(worst, std::pow(2.0f, -21.0f));
+  EXPECT_GT(worst, std::pow(2.0f, -25.0f));  // genuinely degraded
+}
+
+TEST(GfloatFastMath, SqrtAccurateTo22Bits) {
+  fast_math_enabled() = true;
+  Rng rng(2);
+  float worst = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const float a = rng.uniform(0.01f, 100.0f);
+    const float fast = gsqrt(gfloat(a)).value();
+    worst = std::max(worst, std::fabs(fast - std::sqrt(a)) / std::sqrt(a));
+  }
+  EXPECT_LT(worst, std::pow(2.0f, -21.0f));
+}
+
+TEST(GfloatFastMath, FullPrecisionWhenDisabled) {
+  fast_math_enabled() = false;
+  EXPECT_EQ((gfloat(1.0f) / gfloat(3.0f)).value(), 1.0f / 3.0f);
+  EXPECT_EQ(gsqrt(gfloat(2.0f)).value(), std::sqrt(2.0f));
+  fast_math_enabled() = true;
+}
+
+TEST(Gcomplex, MatchesStdComplex) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::complex<float> a{rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const std::complex<float> b{rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const gcomplex ga(a), gb(b);
+    EXPECT_NEAR(std::abs((ga * gb).to_std() - a * b), 0.0f, 1e-5f);
+    EXPECT_NEAR(std::abs((ga + gb).to_std() - (a + b)), 0.0f, 1e-6f);
+    EXPECT_NEAR(std::abs((ga - gb).to_std() - (a - b)), 0.0f, 1e-6f);
+    EXPECT_NEAR(std::abs(ga.conj().to_std() - std::conj(a)), 0.0f, 1e-6f);
+    EXPECT_NEAR(ga.norm2().value(), std::norm(a), 1e-5f);
+  }
+}
+
+TEST(Gcomplex, NoCountingWithoutStats) {
+  current_stats() = nullptr;
+  gfloat a(1.0f), b(2.0f);
+  EXPECT_EQ((a + b).value(), 3.0f);  // must not crash
+}
+
+}  // namespace
+}  // namespace regla::simt

@@ -1,0 +1,87 @@
+// The §II microbenchmarks must recover the machine parameters they were
+// derived from — this validates both the measurement methodology (the
+// paper's) and the simulator's timing model.
+#include <gtest/gtest.h>
+
+#include "microbench/microbench.h"
+#include "simt/engine.h"
+
+namespace regla {
+namespace {
+
+class Microbench : public ::testing::Test {
+ protected:
+  simt::Device dev;
+};
+
+TEST_F(Microbench, SharedBandwidthAllCores) {
+  // Table II: 880 GB/s over all shared memories.
+  EXPECT_NEAR(microbench::shared_bandwidth_all_gbs(dev), 880.0, 30.0);
+}
+
+TEST_F(Microbench, SharedBandwidthPerCore) {
+  // Table II: 62.8 GB/s per core.
+  EXPECT_NEAR(microbench::shared_bandwidth_per_sm_gbs(dev), 62.8, 3.0);
+}
+
+TEST_F(Microbench, GlobalCopyBandwidth) {
+  // Table II: 108 GB/s (75% of the 144 GB/s peak).
+  EXPECT_NEAR(microbench::global_copy_gbs(dev, 8), 108.0, 4.0);
+}
+
+TEST_F(Microbench, SharedLatency) {
+  // Table III: 27 cycles.
+  EXPECT_NEAR(microbench::shared_latency_cycles(dev), 27.0, 1.0);
+}
+
+TEST_F(Microbench, GlobalLatencyPlateau) {
+  // Table III: 570 cycles at large stride.
+  EXPECT_NEAR(microbench::global_latency_cycles(dev, 1 << 14), 570.0, 10.0);
+}
+
+TEST_F(Microbench, GlobalLatencyStaircaseIsMonotone) {
+  // Fig. 1: latency rises with stride (L2-line reuse, then row-buffer
+  // locality, then TLB thrash) and plateaus.
+  double prev = 0.0;
+  for (int s = 0; s <= 14; s += 2) {
+    const double lat = microbench::global_latency_cycles(dev, std::size_t{1} << s);
+    EXPECT_GE(lat, prev - 1.0) << "stride 2^" << s;
+    prev = lat;
+  }
+  const double small = microbench::global_latency_cycles(dev, 1);
+  const double large = microbench::global_latency_cycles(dev, 1 << 14);
+  EXPECT_LT(small, large - 100.0);  // the staircase is substantial
+}
+
+TEST_F(Microbench, SyncLatencyAt64Threads) {
+  // Table IV: 46 cycles for 64 threads.
+  EXPECT_NEAR(microbench::sync_latency_cycles(dev, 64), 46.0, 2.0);
+}
+
+TEST_F(Microbench, SyncLatencyGrowsWithThreads) {
+  // Fig. 2: roughly linear, ~190 cycles at 1024 threads.
+  const double t64 = microbench::sync_latency_cycles(dev, 64);
+  const double t1024 = microbench::sync_latency_cycles(dev, 1024);
+  EXPECT_GT(t1024, t64 * 2.5);
+  EXPECT_NEAR(t1024, 190.0, 15.0);
+}
+
+TEST_F(Microbench, FpPipelineDepth) {
+  // Table IV: gamma = 18 cycles.
+  EXPECT_NEAR(microbench::fp_pipeline_cycles(dev), 18.0, 0.5);
+}
+
+TEST_F(Microbench, ParametersScaleWithConfig) {
+  // The benchmarks measure the machine, not constants: change the machine,
+  // the measurement follows.
+  simt::DeviceConfig cfg;
+  cfg.shared_latency_cycles = 54;
+  cfg.sync_base_cycles = 70.8;
+  simt::Device dev2(cfg);
+  EXPECT_NEAR(microbench::shared_latency_cycles(dev2), 54.0, 1.0);
+  EXPECT_GT(microbench::sync_latency_cycles(dev2, 64),
+            microbench::sync_latency_cycles(dev, 64) + 20.0);
+}
+
+}  // namespace
+}  // namespace regla

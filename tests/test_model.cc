@@ -1,0 +1,116 @@
+// Tests for the analytical performance model (§II-IV, Table VI).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/model.h"
+#include "simt/device_config.h"
+
+namespace regla::model {
+namespace {
+
+simt::DeviceConfig cfg() { return simt::DeviceConfig::quadro6000(); }
+
+TEST(Flops, PaperWorkedExample7x7Qr) {
+  // §IV: "a 7x7 single-precision QR factorization performs ... 457 FLOPs".
+  EXPECT_NEAR(qr_flops(7, 7), 457.0, 1.0);
+}
+
+TEST(Flops, FormulasMatchDefinitions) {
+  EXPECT_DOUBLE_EQ(gj_flops(10), 1000.0);
+  EXPECT_NEAR(lu_flops(10), 2.0 / 3.0 * 1000.0, 1e-9);
+  EXPECT_NEAR(cqr_flops(80, 16), 8.0 * 80 * 256 - 8.0 / 3.0 * 4096, 1e-6);
+  EXPECT_GT(ls_flops(10, 10), qr_flops(10, 10));
+}
+
+TEST(Flops, ArithmeticIntensityWorkedExample) {
+  // §IV: 457 FLOPs over 392 bytes = 1.17 FLOPs/byte.
+  const double ai = intensity(qr_flops(7, 7), matrix_traffic_bytes(7, 7));
+  EXPECT_NEAR(ai, 1.17, 0.01);
+}
+
+TEST(PerThread, PaperWorkedExample126Gflops) {
+  // §IV: 1.17 FLOPs/byte x 108 GB/s ~ 126 GFLOPS.
+  const auto p = predict_per_thread(cfg(), qr_flops(7, 7),
+                                    matrix_traffic_bytes(7, 7), 64000, 64);
+  EXPECT_NEAR(p.gflops, 126.0, 2.0);
+  EXPECT_TRUE(p.fits_in_registers);
+}
+
+TEST(PerThread, CappedAtChipPeak) {
+  const auto p = predict_per_thread(cfg(), 1e9, 1.0, 1, 1);
+  EXPECT_DOUBLE_EQ(p.gflops, cfg().peak_sp_gflops());
+}
+
+TEST(PerThread, SpillFlagAtEightAndBeyond) {
+  EXPECT_TRUE(predict_per_thread(cfg(), 1, 1, 1, 7 * 7 + 15).fits_in_registers);
+  EXPECT_FALSE(predict_per_thread(cfg(), 1, 1, 1, 8 * 8 + 15).fits_in_registers);
+}
+
+TEST(PerBlock, PanelCyclesDecreaseAcrossFactorization) {
+  // Fig. 8: "as the factorization proceeds the matrix becomes smaller so
+  // each panel takes less time".
+  const auto p = predict_per_block(cfg(), BlockAlg::qr, 56, 56, 64);
+  ASSERT_EQ(p.panels.size(), 7u);
+  for (std::size_t i = 1; i < p.panels.size(); ++i)
+    EXPECT_LT(p.panels[i].total(), p.panels[i - 1].total());
+}
+
+TEST(PerBlock, QrCostsMoreThanLu) {
+  const auto q = predict_per_block(cfg(), BlockAlg::qr, 56, 56, 64);
+  const auto l = predict_per_block(cfg(), BlockAlg::lu, 56, 56, 64);
+  EXPECT_GT(q.compute_cycles, l.compute_cycles);
+}
+
+TEST(PerBlock, MagnitudeMatchesPaperTableV) {
+  // Table V: 56x56 QR compute ~150k cycles, LU ~68k; the model should land
+  // in the same regime (the paper's Fig. 8/9 show model ~ measured).
+  const auto q = predict_per_block(cfg(), BlockAlg::qr, 56, 56, 64);
+  EXPECT_GT(q.compute_cycles, 60'000.0);
+  EXPECT_LT(q.compute_cycles, 300'000.0);
+  const auto l = predict_per_block(cfg(), BlockAlg::lu, 56, 56, 64);
+  EXPECT_GT(l.compute_cycles, 25'000.0);
+  EXPECT_LT(l.compute_cycles, 150'000.0);
+}
+
+TEST(PerBlock, OccupancyCliffAt256Threads) {
+  const auto small = predict_per_block(cfg(), BlockAlg::qr, 72, 72, 64);
+  const auto big = predict_per_block(cfg(), BlockAlg::qr, 80, 80, 256);
+  EXPECT_EQ(small.blocks_per_sm, 8);
+  EXPECT_LE(big.blocks_per_sm, 3);
+}
+
+TEST(PerBlock, MatvecAndRank1DominateQr) {
+  // Fig. 8: the trailing-matrix operations dominate each panel.
+  const auto p = predict_per_block(cfg(), BlockAlg::qr, 56, 56, 64);
+  const auto& first = p.panels.front();
+  EXPECT_GT(first.matvec + first.rank1, first.form_hh);
+}
+
+TEST(PerBlock, RejectsNonSquareThreadCounts) {
+  EXPECT_THROW(predict_per_block(cfg(), BlockAlg::qr, 32, 32, 48), regla::Error);
+}
+
+TEST(ChooseThreads, PaperPolicy) {
+  // 64 threads through n = 72, 256 from n = 80 (the Fig. 9 switch).
+  EXPECT_EQ(choose_block_threads(cfg(), 56, 56), 64);
+  EXPECT_EQ(choose_block_threads(cfg(), 64, 64), 64);
+  EXPECT_EQ(choose_block_threads(cfg(), 72, 72), 64);
+  EXPECT_EQ(choose_block_threads(cfg(), 80, 80), 256);
+  EXPECT_EQ(choose_block_threads(cfg(), 144, 144), 256);
+}
+
+TEST(HybridModel, GemmEfficiencyGrowsWithSize) {
+  HybridModelParams p;
+  EXPECT_LT(gemm_gflops(p, 64, 64, 96), gemm_gflops(p, 512, 512, 96));
+  EXPECT_LT(gemm_gflops(p, 8192, 8192, 96), p.gemm_peak_gflops);
+  EXPECT_GT(gemm_gflops(p, 8192, 8192, 96), 0.5 * p.gemm_peak_gflops);
+}
+
+TEST(HybridModel, PcieLatencyPlusBandwidth) {
+  HybridModelParams p;
+  EXPECT_NEAR(pcie_seconds(p, 0), p.pcie_latency_s, 1e-12);
+  EXPECT_NEAR(pcie_seconds(p, 5e9), p.pcie_latency_s + 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace regla::model

@@ -1,0 +1,225 @@
+// Tests for the one-problem-per-block kernels (§V): QR / LU / Gauss-Jordan /
+// solves / least squares, all layouts, real and complex, ragged shapes.
+#include <gtest/gtest.h>
+
+#include "common/generators.h"
+#include "common/norms.h"
+#include "core/per_block.h"
+#include "cpu/cpu.h"
+#include "test_util.h"
+
+namespace regla::core {
+namespace {
+
+class BlockQrSizes
+    : public ::testing::TestWithParam<std::tuple<int, int>> {  // (n, threads)
+ protected:
+  simt::Device dev;
+};
+
+TEST_P(BlockQrSizes, QrFactorsCorrectly) {
+  const auto [n, threads] = GetParam();
+  BatchF batch(4, n, n), orig(4, n, n), taus;
+  fill_uniform(batch, 10 * n + threads);
+  orig = batch;
+  qr_per_block(dev, batch, &taus, {threads, Layout::cyclic2d});
+  EXPECT_LT(testing::worst_packed_qr_error(batch, orig, taus), 2e-4f)
+      << "n=" << n << " p=" << threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockQrSizes,
+    ::testing::Values(std::tuple{8, 16}, std::tuple{8, 64}, std::tuple{13, 16},
+                      std::tuple{16, 64}, std::tuple{24, 64}, std::tuple{32, 64},
+                      std::tuple{33, 64}, std::tuple{56, 64}, std::tuple{56, 256},
+                      std::tuple{63, 64}, std::tuple{80, 256},
+                      std::tuple{96, 256}, std::tuple{112, 256}));
+
+TEST(BlockQr, TallMatrices) {
+  simt::Device dev;
+  for (auto [m, n, p] : {std::tuple{40, 24, 64}, std::tuple{80, 16, 64},
+                         std::tuple{100, 30, 256}}) {
+    BatchF batch(3, m, n), orig(3, m, n), taus;
+    fill_uniform(batch, m + n);
+    orig = batch;
+    qr_per_block(dev, batch, &taus, {p, Layout::cyclic2d});
+    EXPECT_LT(testing::worst_packed_qr_error(batch, orig, taus), 2e-4f)
+        << m << "x" << n;
+  }
+}
+
+TEST(BlockQr, ComplexStapShape) {
+  simt::Device dev;
+  BatchC batch(3, 80, 16), orig(3, 80, 16);
+  BatchC taus;
+  fill_uniform(batch, 99);
+  orig = batch;
+  qr_per_block(dev, batch, &taus);
+  EXPECT_LT(testing::worst_packed_qr_error(batch, orig, taus), 2e-4f);
+}
+
+TEST(BlockQr, ComplexSquare) {
+  simt::Device dev;
+  BatchC batch(2, 32, 32), orig(2, 32, 32);
+  BatchC taus;
+  fill_uniform(batch, 123);
+  orig = batch;
+  qr_per_block(dev, batch, &taus, {64, Layout::cyclic2d});
+  EXPECT_LT(testing::worst_packed_qr_error(batch, orig, taus), 2e-4f);
+}
+
+TEST(BlockQr, RFactorMatchesCpu) {
+  simt::Device dev;
+  const int n = 24;
+  BatchF batch(2, n, n);
+  fill_uniform(batch, 3);
+  Matrix<float> cpu_copy(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) cpu_copy(i, j) = batch.at(1, i, j);
+  qr_per_block(dev, batch, nullptr, {64, Layout::cyclic2d});
+  std::vector<float> tau;
+  cpu::qr_factor(cpu_copy.view(), tau);
+  EXPECT_LT(testing::r_factor_diff<float>(batch.matrix(1), cpu_copy.view()), 2e-4f);
+}
+
+class SolveLayouts : public ::testing::TestWithParam<std::tuple<int, Layout>> {
+ protected:
+  simt::Device dev;
+};
+
+TEST_P(SolveLayouts, QrSolveCorrect) {
+  const auto [n, layout] = GetParam();
+  BatchF a(3, n, n), b(3, n, 1);
+  fill_diag_dominant(a, n + 1);
+  fill_uniform(b, n + 2);
+  BatchF a0 = a, b0 = b;
+  qr_solve_per_block(dev, a, b, {0, layout});
+  EXPECT_LT(testing::worst_solve_residual(a0, b, b0), 2e-4f)
+      << "n=" << n << " " << to_string(layout);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SolveLayouts,
+    ::testing::Combine(::testing::Values(16, 32, 48, 64, 80, 96),
+                       ::testing::Values(Layout::cyclic2d, Layout::row1d,
+                                         Layout::col1d)));
+
+TEST(BlockLu, FactorsAcrossSizes) {
+  simt::Device dev;
+  for (int n : {8, 16, 24, 33, 48, 56, 64, 96}) {
+    BatchF batch(3, n, n), orig(3, n, n);
+    fill_diag_dominant(batch, n);
+    orig = batch;
+    lu_per_block(dev, batch);
+    EXPECT_LT(testing::worst_lu_residual(orig, batch), 2e-4f) << n;
+  }
+}
+
+TEST(BlockLu, NotsolvedFlagOnZeroPivot) {
+  simt::Device dev;
+  const int n = 16;
+  BatchF batch(4, n, n);
+  fill_diag_dominant(batch, 4);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) batch.at(2, i, j) = 0.0f;
+  std::vector<int> flags;
+  lu_per_block(dev, batch, &flags);
+  EXPECT_EQ(flags[2], 1);
+  EXPECT_EQ(flags[0], 0);
+}
+
+TEST(BlockGj, SolvesAcrossSizes) {
+  simt::Device dev;
+  for (int n : {8, 16, 24, 32, 48, 64}) {
+    BatchF a(3, n, n), b(3, n, 1);
+    fill_diag_dominant(a, n + 10);
+    fill_uniform(b, n + 11);
+    BatchF a0 = a, b0 = b;
+    gj_solve_per_block(dev, a, b);
+    EXPECT_LT(testing::worst_solve_residual(a0, b, b0), 2e-4f) << n;
+  }
+}
+
+TEST(BlockLs, OverdeterminedRecoversPlantedSolution) {
+  simt::Device dev;
+  const int m = 48, n = 12, cnt = 3;
+  BatchF a(cnt, m, n), b(cnt, m, 1);
+  fill_uniform(a, 50);
+  BatchF x_true(cnt, n, 1);
+  fill_uniform(x_true, 51);
+  for (int k = 0; k < cnt; ++k)
+    for (int i = 0; i < m; ++i) {
+      float acc = 0;
+      for (int j = 0; j < n; ++j) acc += a.at(k, i, j) * x_true.at(k, j, 0);
+      b.at(k, i, 0) = acc;
+    }
+  ls_per_block(dev, a, b);
+  for (int k = 0; k < cnt; ++k)
+    for (int j = 0; j < n; ++j)
+      EXPECT_NEAR(b.at(k, j, 0), x_true.at(k, j, 0), 5e-3f) << k << "," << j;
+}
+
+TEST(BlockQr, FastMathCostsAccuracyButNotMuch) {
+  const int n = 32;
+  BatchF fast_b(2, n, n), full_b(2, n, n), orig(2, n, n);
+  fill_uniform(fast_b, 77);
+  full_b = fast_b;
+  orig = fast_b;
+  BatchF taus_fast, taus_full;
+
+  simt::Device dev_fast;  // fast_math defaults on
+  qr_per_block(dev_fast, fast_b, &taus_fast);
+  simt::DeviceConfig cfg;
+  cfg.fast_math = false;
+  simt::Device dev_full(cfg);
+  qr_per_block(dev_full, full_b, &taus_full);
+
+  const float err_fast = testing::worst_packed_qr_error(fast_b, orig, taus_fast);
+  const float err_full = testing::worst_packed_qr_error(full_b, orig, taus_full);
+  EXPECT_LT(err_full, 2e-5f);
+  EXPECT_LT(err_fast, 2e-4f);
+  EXPECT_GE(err_fast, err_full * 0.5f);  // fast math is not magically better
+}
+
+TEST(BlockQr, FullPrecisionSlowerThanFastMath) {
+  // §V-C: "not using the hardware functions resulted in a median performance
+  // penalty of 30%" for the per-block approach.
+  const int n = 56;
+  BatchF a(14 * 8, n, n), b = a;
+  fill_uniform(a, 5);
+  b = a;
+  simt::Device fast;
+  simt::DeviceConfig cfg;
+  cfg.fast_math = false;
+  simt::Device full(cfg);
+  const double g_fast = qr_per_block(fast, a).gflops();
+  const double g_full = qr_per_block(full, b).gflops();
+  EXPECT_GT(g_fast, g_full * 1.05);
+  EXPECT_LT(g_fast, g_full * 2.0);
+}
+
+TEST(BlockOptions, RegisterEstimateMatchesSpillBoundary) {
+  simt::Device dev;
+  // 56x56 on 64 threads: 7x7 tile + overhead = 64 regs exactly -> no spill.
+  BatchF b56(2, 56, 56);
+  fill_uniform(b56, 1);
+  auto r56 = qr_per_block(dev, b56, nullptr, {64, Layout::cyclic2d});
+  EXPECT_EQ(r56.launch.totals.spill_bytes, 0u);
+  // 64x64 on 64 threads: 8x8 tile spills (the paper's n = 64 dip).
+  BatchF b64(2, 64, 64);
+  fill_uniform(b64, 2);
+  auto r64 = qr_per_block(dev, b64, nullptr, {64, Layout::cyclic2d});
+  EXPECT_GT(r64.launch.totals.spill_bytes, 0u);
+}
+
+TEST(BlockQr, TauExportMatchesRowCount) {
+  simt::Device dev;
+  BatchF batch(2, 20, 12), taus;
+  fill_uniform(batch, 8);
+  qr_per_block(dev, batch, &taus, {16, Layout::cyclic2d});
+  EXPECT_EQ(taus.count(), 2);
+  EXPECT_EQ(taus.rows(), 12);
+}
+
+}  // namespace
+}  // namespace regla::core

@@ -1,0 +1,136 @@
+// Tests for the one-problem-per-thread kernels (§IV) against the CPU
+// reference implementations.
+#include <gtest/gtest.h>
+
+#include "common/generators.h"
+#include "common/norms.h"
+#include "core/per_thread.h"
+#include "cpu/lu.h"
+#include "model/flops.h"
+#include "test_util.h"
+
+namespace regla::core {
+namespace {
+
+class PerThreadSizes : public ::testing::TestWithParam<int> {
+ protected:
+  simt::Device dev;
+};
+
+TEST_P(PerThreadSizes, QrFactorsCorrectly) {
+  const int n = GetParam();
+  BatchF batch(300, n, n), orig(300, n, n), taus;
+  fill_uniform(batch, 1000 + n);
+  orig = batch;
+  auto r = qr_per_thread(dev, batch, &taus);
+  EXPECT_LT(testing::worst_packed_qr_error(batch, orig, taus), 5e-5f);
+  EXPECT_GT(r.gflops(), 0.0);
+}
+
+TEST_P(PerThreadSizes, LuFactorsDiagDominant) {
+  const int n = GetParam();
+  BatchF batch(300, n, n), orig(300, n, n);
+  fill_diag_dominant(batch, 2000 + n);
+  orig = batch;
+  lu_per_thread(dev, batch);
+  EXPECT_LT(testing::worst_lu_residual(orig, batch), 5e-5f);
+}
+
+TEST_P(PerThreadSizes, GjSolvesDiagDominant) {
+  const int n = GetParam();
+  BatchF a(200, n, n), b(200, n, 1);
+  fill_diag_dominant(a, 3000 + n);
+  fill_uniform(b, 4000 + n);
+  BatchF a0 = a, b0 = b;
+  gj_solve_per_thread(dev, a, b);
+  EXPECT_LT(testing::worst_solve_residual(a0, b, b0), 5e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(N, PerThreadSizes, ::testing::Values(2, 3, 4, 5, 6, 7, 8, 10, 12));
+
+TEST(PerThread, InstrumentedFlopsTrackNominal) {
+  simt::Device dev;
+  const int n = 7;
+  BatchF batch(256, n, n);
+  fill_uniform(batch, 5);
+  auto r = qr_per_thread(dev, batch);
+  const double nominal = model::qr_flops(n, n) * 256;
+  const double counted = static_cast<double>(r.launch.totals.flops);
+  // The instrumented count sits near the textbook formula (within the
+  // lower-order terms of the reflector heads).
+  EXPECT_NEAR(counted / nominal, 1.0, 0.25);
+}
+
+TEST(PerThread, SpillStartsAtEight) {
+  // §IV / Fig. 4: tiles fit through n = 7 and spill from n = 8.
+  simt::Device dev;
+  for (int n : {7, 8}) {
+    BatchF batch(64, n, n);
+    fill_uniform(batch, n);
+    auto r = qr_per_thread(dev, batch);
+    if (n == 7)
+      EXPECT_EQ(r.launch.totals.spill_bytes, 0u) << "n=7 must fit";
+    else
+      EXPECT_GT(r.launch.totals.spill_bytes, 0u) << "n=8 must spill";
+  }
+}
+
+TEST(PerThread, SpilledProblemsRunAtDramSpeed) {
+  // Fig. 4: past the register file, "the problems run at the speed of DRAM".
+  simt::Device dev;
+  BatchF fit(7168, 7, 7), spill(7168, 10, 10);
+  fill_uniform(fit, 1);
+  fill_uniform(spill, 2);
+  const double g_fit = qr_per_thread(dev, fit).gflops();
+  const double g_spill = qr_per_thread(dev, spill).gflops();
+  EXPECT_LT(g_spill, 0.6 * g_fit);
+}
+
+TEST(PerThread, GjFlagsSingularSystems) {
+  simt::Device dev;
+  const int n = 4;
+  BatchF a(10, n, n), b(10, n, 1);
+  fill_diag_dominant(a, 6);
+  fill_uniform(b, 7);
+  // Zero out problem 3 entirely: unsolvable without pivoting.
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a.at(3, i, j) = 0.0f;
+  std::vector<int> flags;
+  gj_solve_per_thread(dev, a, b, &flags);
+  EXPECT_EQ(flags[3], 1);
+  EXPECT_EQ(flags[0], 0);
+}
+
+TEST(PerThread, BatchSmallerThanBlockWorks) {
+  simt::Device dev;
+  BatchF batch(3, 5, 5), orig(3, 5, 5), taus;
+  fill_uniform(batch, 8);
+  orig = batch;
+  qr_per_thread(dev, batch, &taus);
+  EXPECT_LT(testing::worst_packed_qr_error(batch, orig, taus), 5e-5f);
+}
+
+TEST(PerThread, MatchesCpuReferenceBitwiselyExceptFastMath) {
+  // With fast-math off the GPU per-thread LU is the same algorithm as the
+  // CPU reference in the same order: results agree to roundoff.
+  simt::DeviceConfig cfg;
+  cfg.fast_math = false;
+  simt::Device dev(cfg);
+  const int n = 6;
+  BatchF batch(20, n, n);
+  fill_diag_dominant(batch, 11);
+  BatchF ref = batch;
+  lu_per_thread(dev, batch);
+  for (int k = 0; k < 20; ++k) {
+    Matrix<float> a(n, n);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) a(i, j) = ref.at(k, i, j);
+    ASSERT_TRUE(cpu::lu_nopivot(a.view()));
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(batch.at(k, i, j), a(i, j), 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace regla::core

@@ -1,0 +1,197 @@
+// Property-style sweeps: random shapes, GPU-vs-CPU cross-validation over a
+// grid, determinism, and failure injection across the whole kernel surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/generators.h"
+#include "common/norms.h"
+#include "core/core.h"
+#include "cpu/cpu.h"
+#include "test_util.h"
+
+namespace regla {
+namespace {
+
+/// Random (m, n, threads) sweep: the per-block QR must reproduce the CPU R
+/// factor for arbitrary awkward shapes, not just the benchmarked ones.
+class RandomShapeQr : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomShapeQr, GpuRMatchesCpuR) {
+  Rng rng(9000 + GetParam());
+  simt::Device dev;
+  const int n = 2 + static_cast<int>(rng.below(40));
+  const int m = n + static_cast<int>(rng.below(60));
+  const int threads = (rng.below(2) == 0) ? 64 : 256;
+  if (m * n > 64 * (64 - dev.config().reg_overhead_per_thread) * 4) GTEST_SKIP();
+
+  BatchF batch(2, m, n);
+  fill_uniform(batch, 9100 + GetParam());
+  Matrix<float> ref(m, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) ref(i, j) = batch.at(1, i, j);
+
+  core::qr_per_block(dev, batch, nullptr, {threads, core::Layout::cyclic2d});
+  std::vector<float> tau;
+  cpu::qr_factor(ref.view(), tau);
+  EXPECT_LT(testing::r_factor_diff<float>(batch.matrix(1), ref.view()), 1e-3f)
+      << m << "x" << n << " p=" << threads;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomShapeQr, ::testing::Range(0, 12));
+
+/// Solve round trips on random diagonally-dominant systems across the whole
+/// dispatch surface.
+class RandomSolve : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSolve, AllSolversAgree) {
+  Rng rng(7000 + GetParam());
+  simt::Device dev;
+  const int n = 4 + static_cast<int>(rng.below(44));
+  BatchF a(3, n, n), b(3, n, 1);
+  fill_diag_dominant(a, 7100 + GetParam());
+  fill_uniform(b, 7200 + GetParam());
+  BatchF a0 = a, b0 = b;
+
+  BatchF a_qr = a0, b_qr = b0;
+  core::qr_solve_per_block(dev, a_qr, b_qr);
+  BatchF a_gj = a0, b_gj = b0;
+  core::gj_solve_per_block(dev, a_gj, b_gj);
+
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_LT(solve_residual(a0.matrix(k), b_qr.matrix(k), b0.matrix(k)), 5e-4f);
+    EXPECT_LT(rel_diff(b_qr.matrix(k), b_gj.matrix(k)), 5e-3f) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSolve, ::testing::Range(0, 10));
+
+TEST(Determinism, WholePipelineBitwiseRepeatable) {
+  auto run = [] {
+    simt::Device dev;
+    BatchF b(20, 24, 24);
+    fill_uniform(b, 555);
+    core::qr_per_block(dev, b);
+    std::vector<float> out(b.data(), b.data() + b.size());
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Determinism, TimingRepeatable) {
+  auto cycles = [] {
+    simt::Device dev;
+    BatchF b(8, 32, 32);
+    fill_uniform(b, 777);
+    return core::qr_per_block(dev, b).launch.chip_cycles;
+  };
+  EXPECT_DOUBLE_EQ(cycles(), cycles());
+}
+
+TEST(FailureInjection, NanInputsDoNotHangKernels) {
+  // A NaN matrix must flow through (garbage out) without deadlock or crash.
+  simt::Device dev;
+  const int n = 16;
+  BatchF batch(2, n, n);
+  fill_uniform(batch, 3);
+  for (int j = 0; j < n; ++j) batch.at(0, 3, j) = std::nanf("");
+  BatchF taus;
+  core::qr_per_block(dev, batch, &taus);  // must return
+  bool any_nan = false;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) any_nan |= std::isnan(batch.at(0, i, j));
+  EXPECT_TRUE(any_nan);  // NaNs propagate, they don't vanish
+  // Problem 1 must be untouched by problem 0's NaNs.
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_FALSE(std::isnan(batch.at(1, i, j)));
+}
+
+TEST(FailureInjection, SingularSystemsDontPoisonNeighbors) {
+  simt::Device dev;
+  const int n = 12;
+  BatchF a(5, n, n), b(5, n, 1);
+  fill_diag_dominant(a, 11);
+  fill_uniform(b, 12);
+  BatchF a0 = a, b0 = b;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a.at(2, i, j) = 0.0f;
+  std::vector<int> flags;
+  core::gj_solve_per_block(dev, a, b, &flags);
+  EXPECT_EQ(flags[2], 1);
+  for (int k : {0, 1, 3, 4})
+    EXPECT_LT(solve_residual(a0.matrix(k), b.matrix(k), b0.matrix(k)), 5e-4f)
+        << "neighbor " << k;
+}
+
+TEST(Scaling, GflopsInvariantAcrossWaves) {
+  // The batch-size note in EXPERIMENTS.md, verified: 1 wave vs 3 waves give
+  // the same saturated GFLOP/s within the wave-quantization error.
+  simt::Device dev;
+  const int n = 40;
+  auto run = [&](int waves) {
+    BatchF b(112 * waves, n, n);
+    fill_uniform(b, n + waves);
+    return core::qr_per_block(dev, b).gflops();
+  };
+  EXPECT_NEAR(run(1), run(3), 0.05 * run(1));
+}
+
+TEST(Scaling, PartialWaveIsSlowerPerChip) {
+  // Half-filled chips can't reach saturated throughput.
+  simt::Device dev;
+  const int n = 40;
+  BatchF full(112, n, n), part(14, n, n);
+  fill_uniform(full, 1);
+  fill_uniform(part, 2);
+  const double g_full = core::qr_per_block(dev, full).gflops();
+  const double g_part = core::qr_per_block(dev, part).gflops();
+  EXPECT_LT(g_part, 0.6 * g_full);
+}
+
+TEST(Config, SmallerChipScalesDown) {
+  // Halving the SM count roughly halves saturated throughput.
+  simt::DeviceConfig half = simt::DeviceConfig::quadro6000();
+  half.num_sm = 7;
+  half.dram_achievable_gbs /= 2;
+  half.dram_peak_gbs /= 2;
+  simt::Device dev_full, dev_half(half);
+  const int n = 48;
+  BatchF a(112, n, n), b(56, n, n);
+  fill_uniform(a, 1);
+  fill_uniform(b, 2);
+  const double g_full = core::qr_per_block(dev_full, a).gflops();
+  const double g_half = core::qr_per_block(dev_half, b).gflops();
+  EXPECT_NEAR(g_half / g_full, 0.5, 0.1);
+}
+
+TEST(Numerics, ResidualGrowsGracefullyWithSize) {
+  // No catastrophic error growth across the size range (floats, fast math).
+  simt::Device dev;
+  float prev = 0.0f;
+  for (int n : {8, 24, 48, 96}) {
+    BatchF batch(2, n, n), orig(2, n, n), taus;
+    fill_uniform(batch, n);
+    orig = batch;
+    core::qr_per_block(dev, batch, &taus);
+    const float err = testing::worst_packed_qr_error(batch, orig, taus);
+    EXPECT_LT(err, 1e-3f) << n;
+    prev = err;
+  }
+  (void)prev;
+}
+
+TEST(Numerics, OrthogonalInputFactorsToIdentityR) {
+  // QR of (scaled) identity: R = diag, reflectors trivial.
+  simt::Device dev;
+  const int n = 16;
+  BatchF batch(1, n, n), taus;
+  for (int i = 0; i < n; ++i) batch.at(0, i, i) = 2.0f;
+  core::qr_per_block(dev, batch, &taus, {64, core::Layout::cyclic2d});
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::fabs(batch.at(0, i, i)), 2.0f, 1e-5f);
+    EXPECT_NEAR(taus.at(0, i, 0), 0.0f, 1e-6f);  // columns already reduced
+  }
+}
+
+}  // namespace
+}  // namespace regla

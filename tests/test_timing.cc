@@ -1,0 +1,149 @@
+// Tests for the warp-level fold and the cycle cost model: bank conflicts,
+// coalescing, contention scaling, DRAM floor.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "simt/device_config.h"
+#include "simt/occupancy.h"
+#include "simt/stats.h"
+#include "simt/timing.h"
+
+namespace regla::simt {
+namespace {
+
+DeviceConfig cfg() { return DeviceConfig::quadro6000(); }
+
+std::vector<ThreadStats> warp_of(int lanes) {
+  return std::vector<ThreadStats>(lanes);
+}
+
+TEST(Fold, ConflictFreeSharedAccessesAreOneTransactionPerInstr) {
+  auto threads = warp_of(32);
+  for (int t = 0; t < 32; ++t)
+    for (int i = 0; i < 4; ++i)
+      threads[t].record_shared(static_cast<std::uint32_t>(t + i * 32));
+  auto p = fold_phase(cfg(), threads, OpTag::other, -1, true);
+  EXPECT_DOUBLE_EQ(p.sh_transactions, 4.0);  // max-lane = 4, no conflicts
+}
+
+TEST(Fold, BankConflictsInflateTransactions) {
+  // All 32 lanes hit bank 0 with distinct addresses: 32-way conflict.
+  auto threads = warp_of(32);
+  for (int t = 0; t < 32; ++t)
+    threads[t].record_shared(static_cast<std::uint32_t>(t * 32));
+  auto p = fold_phase(cfg(), threads, OpTag::other, -1, true);
+  EXPECT_DOUBLE_EQ(p.sh_transactions, 32.0);
+}
+
+TEST(Fold, BroadcastIsFree) {
+  // All lanes read the same word: hardware broadcasts in one transaction.
+  auto threads = warp_of(32);
+  for (int t = 0; t < 32; ++t) threads[t].record_shared(17);
+  auto p = fold_phase(cfg(), threads, OpTag::other, -1, true);
+  EXPECT_DOUBLE_EQ(p.sh_transactions, 1.0);
+}
+
+TEST(Fold, CoalescedGlobalAccessIsOneSegment) {
+  auto threads = warp_of(32);
+  for (int t = 0; t < 32; ++t)
+    threads[t].record_global(static_cast<std::uint64_t>(t) * 4, 4, true, 128);
+  auto p = fold_phase(cfg(), threads, OpTag::other, -1, true);
+  EXPECT_DOUBLE_EQ(p.gl_transactions, 1.0);
+  EXPECT_EQ(p.gl_bytes, 32u * 4u);
+}
+
+TEST(Fold, ScatteredGlobalAccessesAreManySegments) {
+  auto threads = warp_of(32);
+  for (int t = 0; t < 32; ++t)
+    threads[t].record_global(static_cast<std::uint64_t>(t) * 4096, 4, true, 128);
+  auto p = fold_phase(cfg(), threads, OpTag::other, -1, true);
+  EXPECT_DOUBLE_EQ(p.gl_transactions, 32.0);
+}
+
+TEST(Fold, FpIssueIsMaxOverLanes) {
+  auto threads = warp_of(32);
+  threads[3].fp_instrs = 100;  // divergent hot lane
+  threads[7].fp_instrs = 40;
+  auto p = fold_phase(cfg(), threads, OpTag::other, -1, true);
+  EXPECT_DOUBLE_EQ(p.fp_issue, 100.0);
+}
+
+TEST(Fold, MultipleWarpsSumIssue) {
+  auto threads = warp_of(64);
+  for (int t = 0; t < 64; ++t) threads[t].fp_instrs = 10;
+  auto p = fold_phase(cfg(), threads, OpTag::other, -1, true);
+  EXPECT_DOUBLE_EQ(p.fp_issue, 20.0);  // two warps
+}
+
+TEST(PhaseCycles, ScalesWithResidentBlocks) {
+  PhaseRecord p;
+  p.fp_issue = 1000;
+  const double t1 = phase_cycles(cfg(), p, 1, 64);
+  const double t8 = phase_cycles(cfg(), p, 8, 64);
+  EXPECT_NEAR(t8 / t1, 8.0, 0.5);
+}
+
+TEST(PhaseCycles, LatencyFloorsSmallPhases) {
+  PhaseRecord p;
+  p.fp_issue = 1;
+  p.any_global = true;
+  p.gl_transactions = 1;
+  p.gl_bytes = 128;
+  const double t = phase_cycles(cfg(), p, 1, 64);
+  EXPECT_GE(t, cfg().global_latency_cycles);
+}
+
+TEST(PhaseCycles, SyncAddsBarrierCost) {
+  PhaseRecord p;
+  p.fp_issue = 100;
+  PhaseRecord q = p;
+  q.ended_with_sync = true;
+  const double diff =
+      phase_cycles(cfg(), q, 1, 64) - phase_cycles(cfg(), p, 1, 64);
+  EXPECT_NEAR(diff, cfg().sync_cycles(64), 1e-9);
+}
+
+TEST(PhaseCycles, DependentChainDominates) {
+  PhaseRecord p;
+  p.dep_latency = 50000;
+  p.fp_issue = 10;
+  EXPECT_GE(phase_cycles(cfg(), p, 8, 64), 50000.0);
+}
+
+TEST(ChipCycles, DramFloorApplies) {
+  // One tiny block but a huge amount of DRAM traffic: the floor binds.
+  const double t = chip_cycles(cfg(), {100.0}, 1, 100'000'000);
+  EXPECT_GE(t, 100'000'000 / cfg().dram_bytes_per_cycle());
+}
+
+TEST(ChipCycles, PacksWaves) {
+  // 224 identical blocks at K=8 on 14 SMs = 2 waves.
+  std::vector<double> blocks(224, 1000.0);
+  const double t = chip_cycles(cfg(), blocks, 8, 0);
+  EXPECT_NEAR(t, 2000.0, 1.0);
+}
+
+TEST(ChipCycles, SingleBlockRunsAtItsOwnTime) {
+  EXPECT_NEAR(chip_cycles(cfg(), {1234.0}, 8, 0), 1234.0, 1e-9);
+}
+
+TEST(Occupancy, Gf100KnownConfigs) {
+  const auto c = cfg();
+  // The paper's 56x56 case: 64 threads, <= 64 regs -> 8 blocks (max-blocks).
+  EXPECT_EQ(occupancy(c, 64, 64, 1024).blocks_per_sm, 8);
+  // The Fig. 9 cliff: 256 threads at 64 regs -> register-limited 2 blocks.
+  auto o = occupancy(c, 256, 64, 1024);
+  EXPECT_EQ(o.blocks_per_sm, 2);
+  EXPECT_EQ(o.limiter, Occupancy::Limiter::registers);
+  // Thread-limited: 1024-thread blocks at low regs.
+  EXPECT_EQ(occupancy(c, 1024, 16, 0).blocks_per_sm, 1);
+  // Shared-limited.
+  auto osh = occupancy(c, 64, 16, 20000);
+  EXPECT_EQ(osh.blocks_per_sm, 2);
+  EXPECT_EQ(osh.limiter, Occupancy::Limiter::shared_memory);
+  // Impossible shape throws.
+  EXPECT_THROW(occupancy(c, 64, 16, 100000), Error);
+}
+
+}  // namespace
+}  // namespace regla::simt

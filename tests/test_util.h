@@ -1,0 +1,81 @@
+// Shared helpers for the regla test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/norms.h"
+#include "cpu/qr.h"
+
+namespace regla::testing {
+
+/// Reconstruct Q and R from a packed (LAPACK-style) QR factorization of
+/// problem k and return the worst of the reconstruction residual and the
+/// orthogonality error.
+template <typename T>
+float packed_qr_error(const BatchedMatrix<T>& factored,
+                      const BatchedMatrix<T>& original,
+                      const BatchedMatrix<T>& taus, int k) {
+  const int m = factored.rows(), n = factored.cols();
+  Matrix<T> packed(m, n), q(m, n), r(n, n);
+  std::vector<T> tau(n);
+  for (int c = 0; c < n; ++c) tau[c] = taus.at(k, c, 0);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) packed(i, j) = factored.at(k, i, j);
+  cpu::qr_form_q(packed.view(), tau, q.view());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) r(i, j) = (i <= j) ? packed(i, j) : T{};
+  const float res = qr_residual(original.matrix(k), q.view(), r.view());
+  const float orth = orthogonality_error(q.view());
+  return std::max(res, orth);
+}
+
+template <typename T>
+float worst_packed_qr_error(const BatchedMatrix<T>& factored,
+                            const BatchedMatrix<T>& original,
+                            const BatchedMatrix<T>& taus) {
+  float worst = 0.0f;
+  for (int k = 0; k < factored.count(); ++k)
+    worst = std::max(worst, packed_qr_error(factored, original, taus, k));
+  return worst;
+}
+
+/// Worst ||A x - b|| style residual over a batch of solves (x in b_solved).
+inline float worst_solve_residual(const BatchF& a0, const BatchF& x,
+                                  const BatchF& b0) {
+  float worst = 0.0f;
+  for (int k = 0; k < a0.count(); ++k)
+    worst = std::max(worst,
+                     solve_residual(a0.matrix(k), x.matrix(k), b0.matrix(k)));
+  return worst;
+}
+
+inline float worst_lu_residual(const BatchF& a0, const BatchF& lu) {
+  float worst = 0.0f;
+  for (int k = 0; k < a0.count(); ++k)
+    worst = std::max(worst, lu_residual(a0.matrix(k), lu.matrix(k)));
+  return worst;
+}
+
+/// The R factor of a QR is unique up to column signs (row phases for
+/// complex); compare |R| entries of the common upper triangle. The inputs
+/// may have different row counts (e.g. an n x n R against the packed m x n
+/// factorization it came from).
+template <typename T>
+float r_factor_diff(MatrixView<const T> r1, MatrixView<const T> r2) {
+  EXPECT_EQ(r1.cols(), r2.cols());
+  const int rows = std::min(r1.rows(), r2.rows());
+  float worst = 0.0f;
+  float scale = 0.0f;
+  for (int j = 0; j < r1.cols(); ++j)
+    for (int i = 0; i <= j && i < rows; ++i) {
+      worst = std::max(worst, std::abs(std::abs(r1(i, j)) - std::abs(r2(i, j))));
+      scale = std::max(scale, std::abs(r2(i, j)));
+    }
+  return scale > 0 ? worst / scale : worst;
+}
+
+}  // namespace regla::testing
