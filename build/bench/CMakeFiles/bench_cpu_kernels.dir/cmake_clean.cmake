@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_kernels.dir/bench_cpu_kernels.cc.o"
+  "CMakeFiles/bench_cpu_kernels.dir/bench_cpu_kernels.cc.o.d"
+  "bench_cpu_kernels"
+  "bench_cpu_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_solvers.dir/bench_ext_solvers.cc.o"
+  "CMakeFiles/bench_ext_solvers.dir/bench_ext_solvers.cc.o.d"
+  "bench_ext_solvers"
+  "bench_ext_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fastmath_ablation.dir/bench_fastmath_ablation.cc.o"
+  "CMakeFiles/bench_fastmath_ablation.dir/bench_fastmath_ablation.cc.o.d"
+  "bench_fastmath_ablation"
+  "bench_fastmath_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fastmath_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

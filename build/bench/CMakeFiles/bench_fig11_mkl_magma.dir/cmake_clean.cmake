@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mkl_magma.dir/bench_fig11_mkl_magma.cc.o"
+  "CMakeFiles/bench_fig11_mkl_magma.dir/bench_fig11_mkl_magma.cc.o.d"
+  "bench_fig11_mkl_magma"
+  "bench_fig11_mkl_magma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mkl_magma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_per_thread.dir/bench_fig4_per_thread.cc.o"
+  "CMakeFiles/bench_fig4_per_thread.dir/bench_fig4_per_thread.cc.o.d"
+  "bench_fig4_per_thread"
+  "bench_fig4_per_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_per_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_panels.dir/bench_fig8_panels.cc.o"
+  "CMakeFiles/bench_fig8_panels.dir/bench_fig8_panels.cc.o.d"
+  "bench_fig8_panels"
+  "bench_fig8_panels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_panels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

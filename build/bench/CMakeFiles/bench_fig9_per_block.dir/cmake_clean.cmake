@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_per_block.dir/bench_fig9_per_block.cc.o"
+  "CMakeFiles/bench_fig9_per_block.dir/bench_fig9_per_block.cc.o.d"
+  "bench_fig9_per_block"
+  "bench_fig9_per_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_per_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

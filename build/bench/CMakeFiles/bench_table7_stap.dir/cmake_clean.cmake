@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_stap.dir/bench_table7_stap.cc.o"
+  "CMakeFiles/bench_table7_stap.dir/bench_table7_stap.cc.o.d"
+  "bench_table7_stap"
+  "bench_table7_stap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_stap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_eig.dir/mri_eig.cpp.o"
+  "CMakeFiles/mri_eig.dir/mri_eig.cpp.o.d"
+  "mri_eig"
+  "mri_eig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_eig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

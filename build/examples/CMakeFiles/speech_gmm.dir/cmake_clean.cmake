@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_gmm.dir/speech_gmm.cpp.o"
+  "CMakeFiles/speech_gmm.dir/speech_gmm.cpp.o.d"
+  "speech_gmm"
+  "speech_gmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_gmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

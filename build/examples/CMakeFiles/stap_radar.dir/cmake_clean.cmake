@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stap_radar.dir/stap_radar.cpp.o"
+  "CMakeFiles/stap_radar.dir/stap_radar.cpp.o.d"
+  "stap_radar"
+  "stap_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stap_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regla_common.dir/generators.cc.o"
+  "CMakeFiles/regla_common.dir/generators.cc.o.d"
+  "CMakeFiles/regla_common.dir/norms.cc.o"
+  "CMakeFiles/regla_common.dir/norms.cc.o.d"
+  "CMakeFiles/regla_common.dir/rng.cc.o"
+  "CMakeFiles/regla_common.dir/rng.cc.o.d"
+  "CMakeFiles/regla_common.dir/table.cc.o"
+  "CMakeFiles/regla_common.dir/table.cc.o.d"
+  "libregla_common.a"
+  "libregla_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regla_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

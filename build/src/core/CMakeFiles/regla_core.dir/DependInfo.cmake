@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batched.cc" "src/core/CMakeFiles/regla_core.dir/batched.cc.o" "gcc" "src/core/CMakeFiles/regla_core.dir/batched.cc.o.d"
+  "/root/repo/src/core/eig_jacobi.cc" "src/core/CMakeFiles/regla_core.dir/eig_jacobi.cc.o" "gcc" "src/core/CMakeFiles/regla_core.dir/eig_jacobi.cc.o.d"
+  "/root/repo/src/core/gemm_block.cc" "src/core/CMakeFiles/regla_core.dir/gemm_block.cc.o" "gcc" "src/core/CMakeFiles/regla_core.dir/gemm_block.cc.o.d"
+  "/root/repo/src/core/per_block.cc" "src/core/CMakeFiles/regla_core.dir/per_block.cc.o" "gcc" "src/core/CMakeFiles/regla_core.dir/per_block.cc.o.d"
+  "/root/repo/src/core/per_block_ext.cc" "src/core/CMakeFiles/regla_core.dir/per_block_ext.cc.o" "gcc" "src/core/CMakeFiles/regla_core.dir/per_block_ext.cc.o.d"
+  "/root/repo/src/core/per_thread.cc" "src/core/CMakeFiles/regla_core.dir/per_thread.cc.o" "gcc" "src/core/CMakeFiles/regla_core.dir/per_thread.cc.o.d"
+  "/root/repo/src/core/tiled_qr.cc" "src/core/CMakeFiles/regla_core.dir/tiled_qr.cc.o" "gcc" "src/core/CMakeFiles/regla_core.dir/tiled_qr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/regla_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/regla_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/regla_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

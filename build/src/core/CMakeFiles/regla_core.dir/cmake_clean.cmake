@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regla_core.dir/batched.cc.o"
+  "CMakeFiles/regla_core.dir/batched.cc.o.d"
+  "CMakeFiles/regla_core.dir/eig_jacobi.cc.o"
+  "CMakeFiles/regla_core.dir/eig_jacobi.cc.o.d"
+  "CMakeFiles/regla_core.dir/gemm_block.cc.o"
+  "CMakeFiles/regla_core.dir/gemm_block.cc.o.d"
+  "CMakeFiles/regla_core.dir/per_block.cc.o"
+  "CMakeFiles/regla_core.dir/per_block.cc.o.d"
+  "CMakeFiles/regla_core.dir/per_block_ext.cc.o"
+  "CMakeFiles/regla_core.dir/per_block_ext.cc.o.d"
+  "CMakeFiles/regla_core.dir/per_thread.cc.o"
+  "CMakeFiles/regla_core.dir/per_thread.cc.o.d"
+  "CMakeFiles/regla_core.dir/tiled_qr.cc.o"
+  "CMakeFiles/regla_core.dir/tiled_qr.cc.o.d"
+  "libregla_core.a"
+  "libregla_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regla_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/batched.cc" "src/cpu/CMakeFiles/regla_cpu.dir/batched.cc.o" "gcc" "src/cpu/CMakeFiles/regla_cpu.dir/batched.cc.o.d"
+  "/root/repo/src/cpu/blas.cc" "src/cpu/CMakeFiles/regla_cpu.dir/blas.cc.o" "gcc" "src/cpu/CMakeFiles/regla_cpu.dir/blas.cc.o.d"
+  "/root/repo/src/cpu/cholesky.cc" "src/cpu/CMakeFiles/regla_cpu.dir/cholesky.cc.o" "gcc" "src/cpu/CMakeFiles/regla_cpu.dir/cholesky.cc.o.d"
+  "/root/repo/src/cpu/gauss_jordan.cc" "src/cpu/CMakeFiles/regla_cpu.dir/gauss_jordan.cc.o" "gcc" "src/cpu/CMakeFiles/regla_cpu.dir/gauss_jordan.cc.o.d"
+  "/root/repo/src/cpu/lu.cc" "src/cpu/CMakeFiles/regla_cpu.dir/lu.cc.o" "gcc" "src/cpu/CMakeFiles/regla_cpu.dir/lu.cc.o.d"
+  "/root/repo/src/cpu/qr.cc" "src/cpu/CMakeFiles/regla_cpu.dir/qr.cc.o" "gcc" "src/cpu/CMakeFiles/regla_cpu.dir/qr.cc.o.d"
+  "/root/repo/src/cpu/thread_pool.cc" "src/cpu/CMakeFiles/regla_cpu.dir/thread_pool.cc.o" "gcc" "src/cpu/CMakeFiles/regla_cpu.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/regla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

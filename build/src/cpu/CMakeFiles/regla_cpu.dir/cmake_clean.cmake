@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regla_cpu.dir/batched.cc.o"
+  "CMakeFiles/regla_cpu.dir/batched.cc.o.d"
+  "CMakeFiles/regla_cpu.dir/blas.cc.o"
+  "CMakeFiles/regla_cpu.dir/blas.cc.o.d"
+  "CMakeFiles/regla_cpu.dir/cholesky.cc.o"
+  "CMakeFiles/regla_cpu.dir/cholesky.cc.o.d"
+  "CMakeFiles/regla_cpu.dir/gauss_jordan.cc.o"
+  "CMakeFiles/regla_cpu.dir/gauss_jordan.cc.o.d"
+  "CMakeFiles/regla_cpu.dir/lu.cc.o"
+  "CMakeFiles/regla_cpu.dir/lu.cc.o.d"
+  "CMakeFiles/regla_cpu.dir/qr.cc.o"
+  "CMakeFiles/regla_cpu.dir/qr.cc.o.d"
+  "CMakeFiles/regla_cpu.dir/thread_pool.cc.o"
+  "CMakeFiles/regla_cpu.dir/thread_pool.cc.o.d"
+  "libregla_cpu.a"
+  "libregla_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regla_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regla_hybrid.dir/hybrid.cc.o"
+  "CMakeFiles/regla_hybrid.dir/hybrid.cc.o.d"
+  "libregla_hybrid.a"
+  "libregla_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regla_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

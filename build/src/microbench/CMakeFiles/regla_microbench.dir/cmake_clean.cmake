@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regla_microbench.dir/microbench.cc.o"
+  "CMakeFiles/regla_microbench.dir/microbench.cc.o.d"
+  "libregla_microbench.a"
+  "libregla_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regla_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

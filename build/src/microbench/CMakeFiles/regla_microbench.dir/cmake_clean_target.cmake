@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libregla_microbench.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/flops.cc" "src/model/CMakeFiles/regla_model.dir/flops.cc.o" "gcc" "src/model/CMakeFiles/regla_model.dir/flops.cc.o.d"
+  "/root/repo/src/model/hybrid_model.cc" "src/model/CMakeFiles/regla_model.dir/hybrid_model.cc.o" "gcc" "src/model/CMakeFiles/regla_model.dir/hybrid_model.cc.o.d"
+  "/root/repo/src/model/per_block_model.cc" "src/model/CMakeFiles/regla_model.dir/per_block_model.cc.o" "gcc" "src/model/CMakeFiles/regla_model.dir/per_block_model.cc.o.d"
+  "/root/repo/src/model/per_thread_model.cc" "src/model/CMakeFiles/regla_model.dir/per_thread_model.cc.o" "gcc" "src/model/CMakeFiles/regla_model.dir/per_thread_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/regla_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/regla_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

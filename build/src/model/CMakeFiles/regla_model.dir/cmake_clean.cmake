@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regla_model.dir/flops.cc.o"
+  "CMakeFiles/regla_model.dir/flops.cc.o.d"
+  "CMakeFiles/regla_model.dir/hybrid_model.cc.o"
+  "CMakeFiles/regla_model.dir/hybrid_model.cc.o.d"
+  "CMakeFiles/regla_model.dir/per_block_model.cc.o"
+  "CMakeFiles/regla_model.dir/per_block_model.cc.o.d"
+  "CMakeFiles/regla_model.dir/per_thread_model.cc.o"
+  "CMakeFiles/regla_model.dir/per_thread_model.cc.o.d"
+  "libregla_model.a"
+  "libregla_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regla_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/model/CMakeFiles/regla_model.dir/flops.cc.o: \
+ /root/repo/src/model/flops.cc /usr/include/stdc-predef.h \
+ /root/repo/src/model/../model/flops.h

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/simt/fiber_switch.S" "/root/repo/build/src/simt/CMakeFiles/regla_simt.dir/fiber_switch.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src/simt/.."
+  "/root/repo/src/common/.."
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/engine.cc" "src/simt/CMakeFiles/regla_simt.dir/engine.cc.o" "gcc" "src/simt/CMakeFiles/regla_simt.dir/engine.cc.o.d"
+  "/root/repo/src/simt/fiber.cc" "src/simt/CMakeFiles/regla_simt.dir/fiber.cc.o" "gcc" "src/simt/CMakeFiles/regla_simt.dir/fiber.cc.o.d"
+  "/root/repo/src/simt/occupancy.cc" "src/simt/CMakeFiles/regla_simt.dir/occupancy.cc.o" "gcc" "src/simt/CMakeFiles/regla_simt.dir/occupancy.cc.o.d"
+  "/root/repo/src/simt/stats.cc" "src/simt/CMakeFiles/regla_simt.dir/stats.cc.o" "gcc" "src/simt/CMakeFiles/regla_simt.dir/stats.cc.o.d"
+  "/root/repo/src/simt/timing.cc" "src/simt/CMakeFiles/regla_simt.dir/timing.cc.o" "gcc" "src/simt/CMakeFiles/regla_simt.dir/timing.cc.o.d"
+  "/root/repo/src/simt/trace.cc" "src/simt/CMakeFiles/regla_simt.dir/trace.cc.o" "gcc" "src/simt/CMakeFiles/regla_simt.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/regla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regla_simt.dir/engine.cc.o"
+  "CMakeFiles/regla_simt.dir/engine.cc.o.d"
+  "CMakeFiles/regla_simt.dir/fiber.cc.o"
+  "CMakeFiles/regla_simt.dir/fiber.cc.o.d"
+  "CMakeFiles/regla_simt.dir/fiber_switch.S.o"
+  "CMakeFiles/regla_simt.dir/occupancy.cc.o"
+  "CMakeFiles/regla_simt.dir/occupancy.cc.o.d"
+  "CMakeFiles/regla_simt.dir/stats.cc.o"
+  "CMakeFiles/regla_simt.dir/stats.cc.o.d"
+  "CMakeFiles/regla_simt.dir/timing.cc.o"
+  "CMakeFiles/regla_simt.dir/timing.cc.o.d"
+  "CMakeFiles/regla_simt.dir/trace.cc.o"
+  "CMakeFiles/regla_simt.dir/trace.cc.o.d"
+  "libregla_simt.a"
+  "libregla_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/regla_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

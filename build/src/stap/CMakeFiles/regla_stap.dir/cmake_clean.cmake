@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regla_stap.dir/datacube.cc.o"
+  "CMakeFiles/regla_stap.dir/datacube.cc.o.d"
+  "CMakeFiles/regla_stap.dir/pipeline.cc.o"
+  "CMakeFiles/regla_stap.dir/pipeline.cc.o.d"
+  "libregla_stap.a"
+  "libregla_stap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regla_stap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

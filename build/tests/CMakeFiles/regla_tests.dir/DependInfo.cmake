@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agreement.cc" "tests/CMakeFiles/regla_tests.dir/test_agreement.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_agreement.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/regla_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_cpu_blas.cc" "tests/CMakeFiles/regla_tests.dir/test_cpu_blas.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_cpu_blas.cc.o.d"
+  "/root/repo/tests/test_cpu_factor.cc" "tests/CMakeFiles/regla_tests.dir/test_cpu_factor.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_cpu_factor.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/regla_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_ext2.cc" "tests/CMakeFiles/regla_tests.dir/test_ext2.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_ext2.cc.o.d"
+  "/root/repo/tests/test_fiber.cc" "tests/CMakeFiles/regla_tests.dir/test_fiber.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_fiber.cc.o.d"
+  "/root/repo/tests/test_gfloat.cc" "tests/CMakeFiles/regla_tests.dir/test_gfloat.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_gfloat.cc.o.d"
+  "/root/repo/tests/test_hybrid.cc" "tests/CMakeFiles/regla_tests.dir/test_hybrid.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_hybrid.cc.o.d"
+  "/root/repo/tests/test_microbench.cc" "tests/CMakeFiles/regla_tests.dir/test_microbench.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_microbench.cc.o.d"
+  "/root/repo/tests/test_model.cc" "tests/CMakeFiles/regla_tests.dir/test_model.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_model.cc.o.d"
+  "/root/repo/tests/test_per_block.cc" "tests/CMakeFiles/regla_tests.dir/test_per_block.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_per_block.cc.o.d"
+  "/root/repo/tests/test_per_block_ext.cc" "tests/CMakeFiles/regla_tests.dir/test_per_block_ext.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_per_block_ext.cc.o.d"
+  "/root/repo/tests/test_per_thread.cc" "tests/CMakeFiles/regla_tests.dir/test_per_thread.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_per_thread.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/regla_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_stap.cc" "tests/CMakeFiles/regla_tests.dir/test_stap.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_stap.cc.o.d"
+  "/root/repo/tests/test_tiled_batched.cc" "tests/CMakeFiles/regla_tests.dir/test_tiled_batched.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_tiled_batched.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/regla_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/regla_tests.dir/test_timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/regla_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/regla_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/regla_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/stap/CMakeFiles/regla_stap.dir/DependInfo.cmake"
+  "/root/repo/build/src/microbench/CMakeFiles/regla_microbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/regla_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/regla_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/regla_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
