@@ -1,5 +1,7 @@
 // Quickstart: factor a batch of small matrices on the simulated GPU with
-// regla's top-level API, verify the result, and read the timing.
+// regla's front-end API — a Solver that plans each launch with the paper's
+// predictive model and caches the plan — then verify the result and read
+// the timing.
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
@@ -8,8 +10,8 @@
 
 #include "common/generators.h"
 #include "common/norms.h"
-#include "core/core.h"
 #include "cpu/qr.h"
+#include "planner/solver.h"
 
 int main() {
   using namespace regla;
@@ -17,6 +19,11 @@ int main() {
   // A simulated Quadro 6000 (GF100) — the paper's machine. Every parameter
   // is a plain struct field if you want a different chip.
   simt::Device dev;
+
+  // The Solver owns a model-guided launch planner: the first solve of a
+  // shape scores every candidate kernel mapping with the paper's analytical
+  // models; repeats hit the plan cache and dispatch immediately.
+  Solver solver(dev);
 
   // 5000 single-precision 56x56 problems: the headline workload ("for the QR
   // factorizations of 5,000 56x56 single-precision matrices...").
@@ -26,12 +33,14 @@ int main() {
   BatchF original = batch;
 
   BatchF taus;
-  const auto outcome = core::batched_qr(dev, batch, &taus);
+  const auto report = solver.qr(batch, &taus);
 
-  std::printf("approach:   %s (chosen automatically)\n",
-              core::to_string(outcome.approach));
+  std::printf("plan:       %s, %d threads/block (model: %.0f GFLOP/s "
+              "predicted)\n",
+              core::to_string(report.approach()), report.plan.threads,
+              report.plan.predicted_gflops);
   std::printf("simulated:  %.3f ms on the GF100 -> %.1f GFLOP/s\n",
-              outcome.seconds * 1e3, outcome.gflops());
+              report.seconds * 1e3, report.gflops());
 
   // Verify one problem: rebuild Q from the packed factorization and check
   // A = QR and Q^T Q = I.
@@ -49,18 +58,29 @@ int main() {
   std::printf("(errors ~1e-5: the 22-mantissa-bit hardware divide/sqrt of "
               "--use_fast_math)\n");
 
-  // Solving systems works the same way.
+  // A second batch of the same shape dispatches straight from the plan cache.
+  BatchF batch2(count, n, n);
+  fill_uniform(batch2, 43);
+  const auto repeat = solver.qr(batch2);
+  std::printf("repeat:     plan %s (planner: %llu hit / %llu miss)\n",
+              repeat.cache_hit ? "cached" : "rebuilt",
+              static_cast<unsigned long long>(repeat.planner_hits),
+              static_cast<unsigned long long>(repeat.planner_misses));
+
+  // Solving systems works the same way; pick the method via SolveOptions.
   BatchF a(1000, 24, 24), b(1000, 24, 1);
   fill_diag_dominant(a, 7);
   fill_uniform(b, 8);
   BatchF a0 = a, b0 = b;
-  const auto solve = core::batched_solve(dev, a, b);
+  const auto solve =
+      solver.solve(a, b, {.method = core::SolveMethod::gauss_jordan});
   float worst = 0.0f;
   for (int k = 0; k < a.count(); ++k)
     worst = std::max(worst,
                      solve_residual(a0.matrix(k), b.matrix(k), b0.matrix(k)));
-  std::printf("solve:      1000 24x24 systems at %.1f GFLOP/s, worst "
+  std::printf("solve:      1000 24x24 systems at %.1f GFLOP/s (%s), worst "
               "residual %.2e\n",
-              solve.gflops(), worst);
+              solve.gflops(), solve.all_solved() ? "all solved" : "FAILURES",
+              worst);
   return 0;
 }

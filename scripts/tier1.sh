@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure with the planner subsystem held to
+# -Wall -Wextra -Werror, build everything, run the full test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tier1
+cmake --build --preset tier1 -j "$(nproc)"
+ctest --preset tier1

@@ -9,6 +9,17 @@
 //  entire thread block to a single problem... Tiled algorithms can be used to
 //  solve problems that are too large to fit in a single thread block's
 //  register file." (paper §VIII)
+//
+// Dispatch now goes through the model-guided launch planner (src/planner/):
+// candidates are scored with the §II/§IV-V analytical models and memoized in
+// a plan cache, so repeated shapes skip planning entirely. choose_approach
+// below remains as the model-free static rule (and the planner's reference
+// in tests/benches).
+//
+// MIGRATION: these free functions are thin wrappers kept for existing
+// callers; new code should prefer the regla::Solver facade
+// (planner/solver.h), which owns its planner + cache and returns the richer
+// unified SolveReport.
 #pragma once
 
 #include "core/per_block.h"
@@ -28,9 +39,35 @@ inline const char* to_string(Approach a) {
   return "?";
 }
 
-/// The dispatch rule, exposed so callers and benches can reason about it.
+/// Largest square dimension the per-thread approach accepts (paper §IV:
+/// "very small problems (e.g. n < 16)"). Past this the Eq. 1 model has lost
+/// validity to register spilling (Fig. 4) and per-block takes over.
+inline constexpr int kPerThreadMaxDim = 15;
+
+/// The static dispatch rule, exposed so callers and benches can reason about
+/// it — and so the planner can be validated against it at the boundaries.
 Approach choose_approach(const regla::simt::DeviceConfig& cfg, int m, int n,
                          int words_per_elem = 1);
+
+/// How to solve A x = b.
+enum class SolveMethod {
+  auto_,         ///< currently the stable QR path (planner may widen this)
+  qr,            ///< QR of [A | b] + back-substitution: stable
+  gauss_jordan,  ///< unpivoted Gauss-Jordan: faster, needs diagonal dominance
+};
+
+/// One options struct for every batched entry point (subsumes the old
+/// per-block BlockOptions and the old `bool stable` flag of batched_solve).
+struct SolveOptions {
+  SolveMethod method = SolveMethod::auto_;
+  /// Per-block threads override; 0 lets the planner choose (64 or 256).
+  int threads = 0;
+  /// Register-file data layout for per-block kernels.
+  Layout layout = Layout::cyclic2d;
+
+  /// The per-block kernel knobs this folds in.
+  BlockOptions block() const { return BlockOptions{threads, layout}; }
+};
 
 struct BatchedOutcome {
   Approach approach = Approach::per_thread;
@@ -43,22 +80,26 @@ struct BatchedOutcome {
 /// R factors are retained (written back into the leading n x n block of each
 /// problem; below-diagonal contents unspecified) and taus is not produced.
 BatchedOutcome batched_qr(regla::simt::Device& dev, BatchF& batch,
-                          BatchF* taus = nullptr);
+                          BatchF* taus = nullptr,
+                          const SolveOptions& opts = {});
 BatchedOutcome batched_qr(regla::simt::Device& dev, BatchC& batch,
-                          BatchC* taus = nullptr);
+                          BatchC* taus = nullptr,
+                          const SolveOptions& opts = {});
 
 /// Unpivoted LU (square problems that fit at most one block).
-BatchedOutcome batched_lu(regla::simt::Device& dev, BatchF& batch);
+BatchedOutcome batched_lu(regla::simt::Device& dev, BatchF& batch,
+                          const SolveOptions& opts = {});
 
-/// Solve A_k x_k = b_k. `stable` = QR path; otherwise Gauss-Jordan (faster,
-/// no pivoting — inputs should be diagonally dominant, as in the paper).
+/// Solve A_k x_k = b_k; method selected via SolveOptions (auto_ = the stable
+/// QR path; gauss_jordan assumes diagonally dominant inputs, as in the
+/// paper).
 BatchedOutcome batched_solve(regla::simt::Device& dev, BatchF& a, BatchF& b,
-                             bool stable = true);
+                             const SolveOptions& opts = {});
 
 /// Least squares for tall problems: per-block while [A | b] fits one block's
 /// register file, TSQR-chained (tiled) beyond. x_k lands in the first n
 /// entries of b_k either way.
 BatchedOutcome batched_least_squares(regla::simt::Device& dev, BatchF& a,
-                                     BatchF& b);
+                                     BatchF& b, const SolveOptions& opts = {});
 
 }  // namespace regla::core

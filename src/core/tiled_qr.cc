@@ -13,21 +13,15 @@ namespace regla::core {
 
 namespace {
 
-/// Register budget available for the tile (words).
-int tile_budget_words(const simt::DeviceConfig& cfg) {
-  return cfg.max_regs_per_thread - cfg.reg_overhead_per_thread;
-}
-
 /// Tallest stacked matrix (rows) a 256-thread block holds for n columns.
 /// Tiles up to twice the register budget are allowed — the excess spills,
 /// which the simulator charges as DRAM traffic. This mirrors the paper's
 /// observation that the 240 x 66 STAP case "does not fit well in our block
 /// sizes so some register file space is being wasted" and runs slower.
+/// Geometry lives in the model layer so the launch planner sees the same
+/// shape arithmetic.
 int max_stacked_rows(const simt::DeviceConfig& cfg, int n, int words_per_elem) {
-  const int rdim = 16;
-  const int wreg = (n + rdim - 1) / rdim;
-  const int hreg = 2 * tile_budget_words(cfg) / (wreg * words_per_elem);
-  return hreg * rdim;
+  return model::tiled_max_stacked_rows(cfg, n, words_per_elem);
 }
 
 template <typename S>
@@ -114,12 +108,7 @@ TiledResult tiled_qr_impl(simt::Device& dev,
 
 bool fits_one_block(const regla::simt::DeviceConfig& cfg, int m, int n,
                     int words_per_elem) {
-  const int threads = model::choose_block_threads(cfg, m, n);
-  if (threads > 256) return false;
-  const int rdim = threads == 64 ? 8 : 16;
-  const int hreg = (m + rdim - 1) / rdim;
-  const int wreg = (n + rdim - 1) / rdim;
-  return hreg * wreg * words_per_elem <= tile_budget_words(cfg);
+  return model::block_tile_fits(cfg, m, n, words_per_elem);
 }
 
 TiledResult tiled_qr_r(regla::simt::Device& dev, BatchF& batch, BatchF& out_r) {

@@ -54,6 +54,28 @@ int choose_block_threads(const regla::simt::DeviceConfig& cfg, int m, int n) {
   return 256;
 }
 
+int tile_budget_words(const regla::simt::DeviceConfig& cfg) {
+  return cfg.max_regs_per_thread - cfg.reg_overhead_per_thread;
+}
+
+bool block_tile_fits(const regla::simt::DeviceConfig& cfg, int m, int n,
+                     int words_per_elem) {
+  const int threads = choose_block_threads(cfg, m, n);
+  if (threads > 256) return false;
+  const int rdim = threads == 64 ? 8 : 16;
+  const int hreg = (m + rdim - 1) / rdim;
+  const int wreg = (n + rdim - 1) / rdim;
+  return hreg * wreg * words_per_elem <= tile_budget_words(cfg);
+}
+
+int tiled_max_stacked_rows(const regla::simt::DeviceConfig& cfg, int n,
+                           int words_per_elem) {
+  const int rdim = 16;
+  const int wreg = (n + rdim - 1) / rdim;
+  const int hreg = 2 * tile_budget_words(cfg) / (wreg * words_per_elem);
+  return hreg * rdim;
+}
+
 PerBlockPrediction predict_per_block(const regla::simt::DeviceConfig& cfg,
                                      BlockAlg alg, int m, int n, int p_threads,
                                      int shared_bytes) {

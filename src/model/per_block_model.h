@@ -56,4 +56,24 @@ PerBlockPrediction predict_per_block(const regla::simt::DeviceConfig& cfg,
 /// the register budget, 256 once it would not (the Fig. 9 switch at n = 80).
 int choose_block_threads(const regla::simt::DeviceConfig& cfg, int m, int n);
 
+// --- Launch geometry -------------------------------------------------------
+// The register-file arithmetic behind the dispatch boundaries. These are the
+// single source of truth: core's kernels and the launch planner both consult
+// them, so the planner's candidate set and the kernels' admission rules can
+// never drift apart.
+
+/// Register words available for a thread's matrix tile (budget - overhead).
+int tile_budget_words(const regla::simt::DeviceConfig& cfg);
+
+/// Whether an m x n problem fits a single block's register file under the
+/// policy thread count (choose_block_threads) with no spilling.
+bool block_tile_fits(const regla::simt::DeviceConfig& cfg, int m, int n,
+                     int words_per_elem);
+
+/// Tallest stacked matrix (rows) a 256-thread block holds for n columns in
+/// the tiled path: tiles up to twice the register budget are allowed (the
+/// excess spills — the paper's 240 x 66 "does not fit well" case).
+int tiled_max_stacked_rows(const regla::simt::DeviceConfig& cfg, int n,
+                           int words_per_elem);
+
 }  // namespace regla::model

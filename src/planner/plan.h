@@ -1,0 +1,81 @@
+// Problem signatures and launch plans (the planner's vocabulary).
+//
+// A ProblemDesc names *what* is being solved — (op, m, n, batch, dtype) — and
+// a Plan says *how* to map it onto the chip: the paper's approach (§IV
+// per-thread, §V per-block, §VII tiled), the per-block thread count and
+// layout, and the fast-math mode, plus the analytical model's cycle estimate
+// for the whole batch and, when autotuning ran, the measured cycles next to
+// it (the paper's Table IV/V predicted-vs-measured validation, live).
+#pragma once
+
+#include <cstdint>
+
+#include "core/batched.h"
+#include "core/layout.h"
+
+namespace regla::planner {
+
+/// Batched operation kinds the planner can dispatch. The solve flavours are
+/// split because they map to different kernels (and different FLOP counts):
+/// solve_qr is the stable QR-of-[A|b] path, solve_gj the unpivoted
+/// Gauss-Jordan path for diagonally dominant systems.
+enum class Op : std::uint8_t { qr, lu, solve_qr, solve_gj, least_squares };
+
+inline const char* to_string(Op op) {
+  switch (op) {
+    case Op::qr: return "qr";
+    case Op::lu: return "lu";
+    case Op::solve_qr: return "solve_qr";
+    case Op::solve_gj: return "solve_gj";
+    case Op::least_squares: return "least_squares";
+  }
+  return "?";
+}
+
+/// Element type of the batch. c64 is a single-precision complex pair — two
+/// register words per element, 4x the real FLOPs per elementary operation
+/// (the §VII STAP workload).
+enum class Dtype : std::uint8_t { f32, c64 };
+
+inline const char* to_string(Dtype d) { return d == Dtype::c64 ? "c64" : "f32"; }
+
+inline int words_per_elem(Dtype d) { return d == Dtype::c64 ? 2 : 1; }
+
+/// The problem signature: everything the planner needs to pick a mapping.
+/// Together with the DeviceConfig fingerprint this is the plan-cache key.
+struct ProblemDesc {
+  Op op = Op::qr;
+  int m = 0;      ///< rows per problem
+  int n = 0;      ///< columns per problem (systems: n == m)
+  int batch = 0;  ///< number of independent problems
+  Dtype dtype = Dtype::f32;
+
+  bool operator==(const ProblemDesc&) const = default;
+};
+
+/// A fully resolved launch recipe plus the model's justification for it.
+struct Plan {
+  core::Approach approach = core::Approach::per_thread;
+  core::Layout layout = core::Layout::cyclic2d;
+  /// Threads per block for per-block/tiled launches (64 or 256); the fixed
+  /// bundle size for per-thread launches.
+  int threads = 0;
+  /// Division/sqrt mode the plan was scored under (mirrors cfg.fast_math;
+  /// candidates for the other mode appear only in explore_fast_math runs).
+  bool fast_math = true;
+
+  // --- Model verdict (whole batch, chip cycles on the configured device) --
+  double predicted_cycles = 0;
+  double predicted_gflops = 0;
+
+  // --- Autotune verdict (sample batch), 0/false when autotune did not run --
+  double measured_cycles = 0;          ///< best candidate's measured sample
+  double predicted_sample_cycles = 0;  ///< model's estimate for that sample
+  double model_rel_error = 0;          ///< |predicted - measured| / measured
+  bool autotuned = false;
+
+  /// True on plans served from the cache (set per returned copy).
+  bool from_cache = false;
+};
+
+}  // namespace regla::planner

@@ -1,0 +1,132 @@
+// The model-guided launch planner (the paper's predictive model, §II/§IV-V,
+// promoted from validation artifact to the actual dispatcher).
+//
+// For a problem signature the planner enumerates every candidate mapping the
+// kernels admit — approach x threads-per-block x layout x fast-math — scores
+// each with the analytical models in src/model/, and returns the cheapest as
+// a Plan. Results are memoized in an LRU cache keyed by (signature, device
+// fingerprint), so repeated solves of the same shape skip enumeration and
+// scoring entirely and dispatch in O(1).
+//
+// Scoring = the paper's models plus one planner-level extension: a register
+// SPILL term. The paper's Eq. 1 and Table VI models deliberately ignore
+// spilling, which is exactly where Figs. 4 and 9 show them diverging from
+// the hardware — a dispatcher cannot afford to be fooled there, so the
+// planner charges spilled tile words for their L1 traffic (issue-cost for
+// the latency-hidden per-thread kernels, exposed-latency for the
+// sync-bounded per-block kernels). With that term the model itself
+// reproduces the paper's dispatch policy: per-thread for tiny problems, the
+// 64 -> 256 thread switch at n = 80 (Fig. 9), tiled beyond one block.
+//
+// Optional autotune mode runs the top-k model candidates on the simulated
+// device once per signature, keeps the measured winner, and exports the
+// model-vs-measured cycle error through simt::stats — the paper's
+// predicted-vs-measured validation (Tables IV/V), live in production.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "planner/plan.h"
+#include "simt/device_config.h"
+
+namespace regla::planner {
+
+/// Cumulative planner health counters (also mirrored into simt::stats under
+/// "planner.*").
+struct PlannerStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t plans_built = 0;     ///< candidate enumerations performed
+  std::uint64_t autotune_runs = 0;   ///< candidates actually measured
+  std::uint64_t evictions = 0;
+  double model_error_sum = 0;        ///< sum of per-plan relative errors
+  std::uint64_t model_error_count = 0;
+
+  double hit_rate() const {
+    const double total = static_cast<double>(cache_hits + cache_misses);
+    return total > 0 ? cache_hits / total : 0;
+  }
+  double mean_model_error() const {
+    return model_error_count > 0 ? model_error_sum / model_error_count : 0;
+  }
+};
+
+struct PlannerOptions {
+  std::size_t cache_capacity = 512;  ///< LRU entries before eviction
+  bool autotune = false;             ///< measure top-k candidates once
+  int autotune_top_k = 3;
+  /// Problems per measured sample launch (enough for full chip residency).
+  int autotune_sample_batch = 112;
+  /// Also enumerate candidates with fast_math flipped from the config's
+  /// setting (changes numerics — opt-in).
+  bool explore_fast_math = false;
+};
+
+class Planner {
+ public:
+  using Options = PlannerOptions;
+
+  /// Measured chip cycles for running `candidate` on `sample` (a reduced-
+  /// batch copy of the original signature), or < 0 if the candidate cannot
+  /// be measured. Supplied by the execution layer (regla::Solver) so the
+  /// planner itself stays free of kernel dependencies.
+  using MeasureFn = std::function<double(const ProblemDesc& sample,
+                                         const Plan& candidate)>;
+
+  explicit Planner(Options opt = {});
+
+  /// The plan for this signature on this device: cached if seen before,
+  /// otherwise enumerated, scored, optionally autotuned, and inserted.
+  /// Thread-safe. REGLA_CHECKs if no kernel can run the problem at all.
+  Plan plan(const regla::simt::DeviceConfig& cfg, const ProblemDesc& desc);
+
+  /// All admissible candidates, scored, cheapest first (no cache involved).
+  std::vector<Plan> candidates(const regla::simt::DeviceConfig& cfg,
+                               const ProblemDesc& desc) const;
+
+  void set_measure_fn(MeasureFn fn);
+
+  PlannerStats stats() const;
+  void clear();  ///< drop the cache and reset counters
+
+  Options options() const { return opt_; }
+
+  /// Hash of every DeviceConfig field the plans depend on; part of the cache
+  /// key, so reconfiguring the device invalidates (by never matching) all
+  /// plans made for the old configuration.
+  static std::uint64_t config_fingerprint(const regla::simt::DeviceConfig& cfg);
+
+ private:
+  struct Key {
+    ProblemDesc desc;
+    std::uint64_t fingerprint = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    Key key;
+    Plan plan;
+  };
+
+  Plan build_plan(const regla::simt::DeviceConfig& cfg,
+                  const ProblemDesc& desc);
+  void insert(const Key& key, const Plan& plan);
+  void export_stats() const;  // requires mutex_ held
+
+  Options opt_;
+  MeasureFn measure_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  PlannerStats stats_;
+};
+
+}  // namespace regla::planner

@@ -1,0 +1,251 @@
+#include "planner/solver.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/generators.h"
+
+namespace regla {
+
+namespace {
+
+/// Temporarily applies a plan's fast_math choice to the device config.
+class FastMathScope {
+ public:
+  FastMathScope(simt::Device& dev, bool plan_fast_math, bool apply)
+      : dev_(dev), saved_(dev.config().fast_math) {
+    if (apply && plan_fast_math != saved_)
+      dev_.mutable_config().fast_math = plan_fast_math;
+  }
+  ~FastMathScope() { dev_.mutable_config().fast_math = saved_; }
+
+ private:
+  simt::Device& dev_;
+  bool saved_;
+};
+
+core::BlockOptions block_opts(const planner::Plan& plan,
+                              const core::SolveOptions& opts) {
+  core::BlockOptions b = opts.block();
+  if (b.threads == 0) b.threads = plan.threads;
+  return b;
+}
+
+}  // namespace
+
+Solver::Solver(simt::Device& dev, Options opt)
+    : dev_(dev), opt_(opt), planner_(opt.planner) {
+  if (opt_.planner.autotune)
+    planner_.set_measure_fn(
+        [this](const planner::ProblemDesc& sample, const planner::Plan& cand) {
+          return measure(sample, cand);
+        });
+}
+
+planner::Plan Solver::plan_for(planner::Op op, int m, int n, int batch,
+                               planner::Dtype dtype) {
+  return planner_.plan(dev_.config(),
+                       planner::ProblemDesc{op, m, n, batch, dtype});
+}
+
+SolveReport Solver::finish(const planner::Plan& plan,
+                           const core::GpuBatchResult& r) {
+  SolveReport rep;
+  rep.plan = plan;
+  rep.seconds = r.launch.seconds;
+  rep.chip_cycles = r.launch.chip_cycles;
+  rep.nominal_flops = r.nominal_flops;
+  rep.counters = r.launch.totals;
+  rep.blocks_per_sm = r.launch.blocks_per_sm;
+  rep.waves = r.launch.waves;
+  rep.cache_hit = plan.from_cache;
+  stamp_planner_stats(rep);
+  return rep;
+}
+
+SolveReport Solver::finish_tiled(const planner::Plan& plan,
+                                 const core::TiledResult& t) {
+  SolveReport rep;
+  rep.plan = plan;
+  rep.seconds = t.seconds;
+  rep.chip_cycles = t.chip_cycles;
+  rep.nominal_flops = t.nominal_flops;
+  rep.waves = t.steps;
+  rep.cache_hit = plan.from_cache;
+  stamp_planner_stats(rep);
+  return rep;
+}
+
+void Solver::stamp_planner_stats(SolveReport& report) const {
+  const planner::PlannerStats s = planner_.stats();
+  report.planner_hits = s.cache_hits;
+  report.planner_misses = s.cache_misses;
+}
+
+SolveReport Solver::qr(BatchF& batch, BatchF* taus,
+                       const core::SolveOptions& opts) {
+  const int m = batch.rows(), n = batch.cols();
+  const auto plan =
+      plan_for(planner::Op::qr, m, n, batch.count(), planner::Dtype::f32);
+  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
+  switch (plan.approach) {
+    case core::Approach::per_thread:
+      return finish(plan, core::qr_per_thread(dev_, batch, taus));
+    case core::Approach::per_block:
+      return finish(plan,
+                    core::qr_per_block(dev_, batch, taus, block_opts(plan, opts)));
+    case core::Approach::tiled: {
+      REGLA_CHECK_MSG(taus == nullptr,
+                      "the tiled QR path retains only R, not the reflectors");
+      BatchF r;
+      const core::TiledResult t = core::tiled_qr_r(dev_, batch, r);
+      for (int k = 0; k < batch.count(); ++k)
+        for (int j = 0; j < n; ++j)
+          for (int i = 0; i < n; ++i) batch.at(k, i, j) = r.at(k, i, j);
+      return finish_tiled(plan, t);
+    }
+  }
+  REGLA_CHECK(false);
+  return {};
+}
+
+SolveReport Solver::qr(BatchC& batch, BatchC* taus,
+                       const core::SolveOptions& opts) {
+  const int m = batch.rows(), n = batch.cols();
+  const auto plan =
+      plan_for(planner::Op::qr, m, n, batch.count(), planner::Dtype::c64);
+  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
+  if (plan.approach == core::Approach::tiled) {
+    REGLA_CHECK_MSG(taus == nullptr,
+                    "the tiled QR path retains only R, not the reflectors");
+    BatchC r;
+    const core::TiledResult t = core::tiled_qr_r(dev_, batch, r);
+    for (int k = 0; k < batch.count(); ++k)
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) batch.at(k, i, j) = r.at(k, i, j);
+    return finish_tiled(plan, t);
+  }
+  return finish(plan,
+                core::qr_per_block(dev_, batch, taus, block_opts(plan, opts)));
+}
+
+SolveReport Solver::lu(BatchF& batch, const core::SolveOptions& opts) {
+  const int n = batch.cols();
+  REGLA_CHECK(batch.rows() == n);
+  const auto plan =
+      plan_for(planner::Op::lu, n, n, batch.count(), planner::Dtype::f32);
+  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
+  if (plan.approach == core::Approach::per_thread)
+    return finish(plan, core::lu_per_thread(dev_, batch));
+  std::vector<int> flags;
+  SolveReport rep = finish(
+      plan, core::lu_per_block(dev_, batch, &flags, block_opts(plan, opts)));
+  rep.not_solved = std::move(flags);
+  return rep;
+}
+
+SolveReport Solver::solve(BatchF& a, BatchF& b,
+                          const core::SolveOptions& opts) {
+  const int n = a.cols();
+  const auto op = opts.method == core::SolveMethod::gauss_jordan
+                      ? planner::Op::solve_gj
+                      : planner::Op::solve_qr;
+  const auto plan = plan_for(op, n, n, a.count(), planner::Dtype::f32);
+  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
+  std::vector<int> flags;
+  SolveReport rep;
+  if (plan.approach == core::Approach::per_thread) {
+    rep = finish(plan, core::gj_solve_per_thread(dev_, a, b, &flags));
+  } else if (op == planner::Op::solve_gj) {
+    rep = finish(plan,
+                 core::gj_solve_per_block(dev_, a, b, &flags, block_opts(plan, opts)));
+  } else {
+    return finish(plan, core::qr_solve_per_block(dev_, a, b, block_opts(plan, opts)));
+  }
+  rep.not_solved = std::move(flags);
+  return rep;
+}
+
+SolveReport Solver::least_squares(BatchF& a, BatchF& b,
+                                  const core::SolveOptions& opts) {
+  const auto plan = plan_for(planner::Op::least_squares, a.rows(), a.cols(),
+                             a.count(), planner::Dtype::f32);
+  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
+  if (plan.approach == core::Approach::tiled) {
+    BatchF x;
+    const core::TiledResult t = core::tiled_least_squares(dev_, a, b, x);
+    for (int k = 0; k < b.count(); ++k)
+      for (int i = 0; i < a.cols(); ++i) b.at(k, i, 0) = x.at(k, i, 0);
+    return finish_tiled(plan, t);
+  }
+  return finish(plan, core::ls_per_block(dev_, a, b, block_opts(plan, opts)));
+}
+
+double Solver::measure(const planner::ProblemDesc& d,
+                       const planner::Plan& cand) {
+  // Synthetic data in the paper's methodology: uniform for QR/LS, diagonally
+  // dominant wherever an unpivoted elimination must not break down.
+  const core::BlockOptions bopt{cand.threads, cand.layout};
+  FastMathScope fm(dev_, cand.fast_math, opt_.apply_plan_fast_math);
+  try {
+    switch (d.op) {
+      case planner::Op::qr: {
+        if (d.dtype == planner::Dtype::c64) {
+          BatchC b(d.batch, d.m, d.n);
+          fill_uniform(b, 0x9e37);
+          if (cand.approach == core::Approach::tiled) {
+            BatchC r;
+            return core::tiled_qr_r(dev_, b, r).chip_cycles;
+          }
+          return core::qr_per_block(dev_, b, nullptr, bopt).launch.chip_cycles;
+        }
+        BatchF b(d.batch, d.m, d.n);
+        fill_uniform(b, 0x9e37);
+        if (cand.approach == core::Approach::per_thread)
+          return core::qr_per_thread(dev_, b).launch.chip_cycles;
+        if (cand.approach == core::Approach::tiled) {
+          BatchF r;
+          return core::tiled_qr_r(dev_, b, r).chip_cycles;
+        }
+        return core::qr_per_block(dev_, b, nullptr, bopt).launch.chip_cycles;
+      }
+      case planner::Op::lu: {
+        BatchF b(d.batch, d.n, d.n);
+        fill_diag_dominant(b, 0x9e37);
+        if (cand.approach == core::Approach::per_thread)
+          return core::lu_per_thread(dev_, b).launch.chip_cycles;
+        return core::lu_per_block(dev_, b, nullptr, bopt).launch.chip_cycles;
+      }
+      case planner::Op::solve_qr: {
+        BatchF a(d.batch, d.n, d.n), b(d.batch, d.n, 1);
+        fill_diag_dominant(a, 0x9e37);
+        fill_uniform(b, 0x79b9);
+        return core::qr_solve_per_block(dev_, a, b, bopt).launch.chip_cycles;
+      }
+      case planner::Op::solve_gj: {
+        BatchF a(d.batch, d.n, d.n), b(d.batch, d.n, 1);
+        fill_diag_dominant(a, 0x9e37);
+        fill_uniform(b, 0x79b9);
+        if (cand.approach == core::Approach::per_thread)
+          return core::gj_solve_per_thread(dev_, a, b).launch.chip_cycles;
+        return core::gj_solve_per_block(dev_, a, b, nullptr, bopt)
+            .launch.chip_cycles;
+      }
+      case planner::Op::least_squares: {
+        BatchF a(d.batch, d.m, d.n), b(d.batch, d.m, 1);
+        fill_uniform(a, 0x9e37);
+        fill_uniform(b, 0x79b9);
+        if (cand.approach == core::Approach::tiled) {
+          BatchF x;
+          return core::tiled_least_squares(dev_, a, b, x).chip_cycles;
+        }
+        return core::ls_per_block(dev_, a, b, bopt).launch.chip_cycles;
+      }
+    }
+  } catch (const Error&) {
+    // A candidate the kernels reject is simply not measurable.
+  }
+  return -1;
+}
+
+}  // namespace regla

@@ -1,0 +1,109 @@
+// regla::Solver — the unified front door.
+//
+//   regla::simt::Device dev;
+//   regla::Solver solver(dev);
+//   auto report = solver.qr(batch);          // planned, cached, dispatched
+//   report.gflops(); report.plan.approach; report.cache_hit;
+//
+// A Solver owns a model-guided Planner and its plan cache: the first solve
+// of a shape enumerates and scores candidate mappings (optionally autotuning
+// the top few on the device), every repeat is an O(1) cache hit straight to
+// dispatch. Every entry point returns one SolveReport — the single struct
+// that subsumes the historical three-way split of simt::LaunchResult /
+// core::GpuBatchResult / core::BatchedOutcome.
+//
+// The free functions in core/batched.h remain as thin wrappers for old
+// callers; this facade is the supported API going forward.
+#pragma once
+
+#include <vector>
+
+#include "core/batched.h"
+#include "planner/planner.h"
+#include "simt/engine.h"
+
+namespace regla {
+
+/// Everything a batched solve reports: what ran (the plan and the model's
+/// reasoning behind it), how long it took, what the instrumentation counted,
+/// and which problems failed. Replaces LaunchResult + GpuBatchResult +
+/// BatchedOutcome for callers of the Solver API.
+struct SolveReport {
+  planner::Plan plan;          ///< approach, threads, layout, model verdict
+  double seconds = 0;          ///< simulated wall time on the device
+  double chip_cycles = 0;
+  double nominal_flops = 0;    ///< textbook operation count (paper §III)
+  simt::LaunchCounters counters;  ///< instrumented totals (zero: tiled path)
+  int blocks_per_sm = 0;
+  int waves = 0;               ///< launch waves (tiled: chain steps)
+  /// One flag per problem, nonzero where the kernel could not solve (zero
+  /// pivot). Empty when the operation has no failure mode (QR, LS).
+  std::vector<int> not_solved;
+  bool cache_hit = false;      ///< this call's plan came from the plan cache
+  std::uint64_t planner_hits = 0;    ///< cumulative, this Solver's planner
+  std::uint64_t planner_misses = 0;
+
+  core::Approach approach() const { return plan.approach; }
+  double gflops() const {
+    return seconds > 0 ? nominal_flops / seconds / 1e9 : 0;
+  }
+  bool all_solved() const {
+    for (int f : not_solved)
+      if (f) return false;
+    return true;
+  }
+};
+
+/// The planner-backed facade over the batched GPU kernels. Holds a reference
+/// to the Device; one Solver per Device (or several — plans are keyed by
+/// device configuration, so sharing is safe but caches are per-Solver).
+struct SolverOptions {
+  planner::Planner::Options planner;
+  /// Apply a plan's fast_math choice to the device for the launch (only
+  /// differs from the config when planner.explore_fast_math is on).
+  bool apply_plan_fast_math = true;
+};
+
+class Solver {
+ public:
+  using Options = SolverOptions;
+
+  explicit Solver(simt::Device& dev, Options opt = {});
+
+  /// QR-factor every matrix in place (tiled path: R only, as in
+  /// core::batched_qr).
+  SolveReport qr(BatchF& batch, BatchF* taus = nullptr,
+                 const core::SolveOptions& opts = {});
+  SolveReport qr(BatchC& batch, BatchC* taus = nullptr,
+                 const core::SolveOptions& opts = {});
+
+  /// Unpivoted LU in place (problems up to one block).
+  SolveReport lu(BatchF& batch, const core::SolveOptions& opts = {});
+
+  /// Solve A_k x_k = b_k; b overwritten with x. Method via opts.method.
+  SolveReport solve(BatchF& a, BatchF& b, const core::SolveOptions& opts = {});
+
+  /// Least squares min ||A x - b||; x lands in the first n entries of b.
+  SolveReport least_squares(BatchF& a, BatchF& b,
+                            const core::SolveOptions& opts = {});
+
+  planner::Planner& planner() { return planner_; }
+  const planner::Planner& planner() const { return planner_; }
+  simt::Device& device() { return dev_; }
+
+ private:
+  planner::Plan plan_for(planner::Op op, int m, int n, int batch,
+                         planner::Dtype dtype);
+  /// Measured chip cycles of one candidate on synthetic data (autotune).
+  double measure(const planner::ProblemDesc& sample, const planner::Plan& cand);
+  SolveReport finish(const planner::Plan& plan, const core::GpuBatchResult& r);
+  SolveReport finish_tiled(const planner::Plan& plan,
+                           const core::TiledResult& t);
+  void stamp_planner_stats(SolveReport& report) const;
+
+  simt::Device& dev_;
+  Options opt_;
+  planner::Planner planner_;
+};
+
+}  // namespace regla

@@ -1,8 +1,47 @@
 #include "simt/stats.h"
 
+#include <mutex>
+
 #include "simt/gfloat.h"
 
 namespace regla::simt {
+
+namespace {
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::map<std::string, double>& registry() {
+  static std::map<std::string, double> r;
+  return r;
+}
+}  // namespace
+
+void stat_set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[name] = value;
+}
+
+void stat_add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[name] += delta;
+}
+
+double stat_get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(name);
+  return it == registry().end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> stats_snapshot() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  return registry();
+}
+
+void stats_clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+}
 
 ThreadStats*& current_stats() {
   thread_local ThreadStats* stats = nullptr;

@@ -1,0 +1,226 @@
+// The launch planner: model-guided dispatch must reproduce the paper's
+// static rule at every boundary, the plan cache must make repeats O(1), and
+// the regla::Solver facade must produce correct numerics end to end.
+#include <gtest/gtest.h>
+
+#include "common/generators.h"
+#include "core/batched.h"
+#include "planner/planner.h"
+#include "planner/solver.h"
+#include "test_util.h"
+
+namespace regla {
+namespace {
+
+using core::Approach;
+using core::choose_approach;
+using planner::Dtype;
+using planner::Op;
+using planner::Planner;
+using planner::ProblemDesc;
+
+simt::DeviceConfig quadro() { return simt::DeviceConfig::quadro6000(); }
+
+Approach planned_approach(Op op, int m, int n, Dtype dtype = Dtype::f32) {
+  Planner p;
+  return p.plan(quadro(), ProblemDesc{op, m, n, 1024, dtype}).approach;
+}
+
+// The per-thread / per-block boundary (paper §IV: "e.g. n < 16"). The model
+// and the static rule must agree on both sides of it.
+TEST(Planner, AgreesWithStaticRuleAtPerThreadBoundary) {
+  const auto cfg = quadro();
+  for (int n : {15, 16, 17}) {
+    const Approach expect = choose_approach(cfg, n, n);
+    EXPECT_EQ(planned_approach(Op::qr, n, n), expect) << "qr n=" << n;
+    EXPECT_EQ(planned_approach(Op::lu, n, n), expect) << "lu n=" << n;
+    EXPECT_EQ(planned_approach(Op::solve_gj, n, n), expect) << "gj n=" << n;
+  }
+  EXPECT_EQ(planned_approach(Op::qr, 15, 15), Approach::per_thread);
+  EXPECT_EQ(planned_approach(Op::qr, 16, 16), Approach::per_block);
+}
+
+// The per-block register-fit edge for f32 squares: 112 is the largest n the
+// 64-register budget admits; 113 must fall through to the tiled chain.
+TEST(Planner, AgreesWithStaticRuleAtRegisterFitEdge) {
+  const auto cfg = quadro();
+  ASSERT_EQ(choose_approach(cfg, 112, 112), Approach::per_block);
+  ASSERT_EQ(choose_approach(cfg, 113, 113), Approach::tiled);
+  EXPECT_EQ(planned_approach(Op::qr, 112, 112), Approach::per_block);
+  EXPECT_EQ(planned_approach(Op::qr, 113, 113), Approach::tiled);
+}
+
+// Complex data doubles the words per element (words_per_elem = 2), which
+// halves the registers available for tile elements — the STAP shapes of
+// §VII. There is no complex per-thread kernel, so even tiny complex
+// problems must plan per-block.
+TEST(Planner, ComplexShapesAccountForWordsPerElem) {
+  const auto cfg = quadro();
+  ASSERT_EQ(choose_approach(cfg, 32, 32, 2), Approach::per_block);
+  ASSERT_EQ(choose_approach(cfg, 48, 48, 2), Approach::tiled);
+  EXPECT_EQ(planned_approach(Op::qr, 32, 32, Dtype::c64), Approach::per_block);
+  // 40 x 40 complex is in the spill window: the static rule says tiled, but
+  // the spilled 64-thread block kernel measures ~50% faster and the planner
+  // finds it. By 48 x 48 the spill dominates and tiled wins again.
+  EXPECT_EQ(planned_approach(Op::qr, 40, 40, Dtype::c64), Approach::per_block);
+  EXPECT_EQ(planned_approach(Op::qr, 48, 48, Dtype::c64), Approach::tiled);
+  // The STAP covariance factorization of §VII: 240 x 66 complex, tiled.
+  EXPECT_EQ(planned_approach(Op::qr, 240, 66, Dtype::c64), Approach::tiled);
+  // n = 8 complex is "per-thread sized", but no complex per-thread kernel
+  // exists; the planner must never emit an unrunnable plan.
+  EXPECT_EQ(planned_approach(Op::qr, 8, 8, Dtype::c64), Approach::per_block);
+}
+
+// The Fig. 9 thread-count choice: 64-thread blocks win while the tile is
+// small, 256 once it is register-bound (measured: 64 through n = 57, 256
+// from n = 64).
+TEST(Planner, PicksBlockThreadsLikeTheModel) {
+  Planner p;
+  const auto cfg = quadro();
+  const auto t64 = p.plan(cfg, ProblemDesc{Op::qr, 48, 48, 512, Dtype::f32});
+  const auto t96 = p.plan(cfg, ProblemDesc{Op::qr, 96, 96, 512, Dtype::f32});
+  EXPECT_EQ(t64.threads, 64);
+  EXPECT_EQ(t96.threads, 256);
+}
+
+// The static rule's blind spot: f32 squares 57..72 flunk the strict register
+// fit and dispatch tiled, but at n = 57 a spill-tolerated 64-thread block
+// kernel measures ~18% faster. The planner's spill-extended score finds it
+// (and correctly declines it by n = 64, where the spill overwhelms it).
+TEST(Planner, BeatsStaticRuleInsideTheSpillWindow) {
+  const auto cfg = quadro();
+  ASSERT_EQ(choose_approach(cfg, 57, 57), Approach::tiled);
+  Planner p;
+  const auto plan = p.plan(cfg, ProblemDesc{Op::qr, 57, 57, 448, Dtype::f32});
+  EXPECT_EQ(plan.approach, Approach::per_block);
+  EXPECT_EQ(plan.threads, 64);
+  EXPECT_EQ(planned_approach(Op::qr, 64, 64), Approach::tiled);
+}
+
+TEST(PlanCache, RepeatSignatureIsAHitWithNoReplanning) {
+  Planner p;
+  const auto cfg = quadro();
+  const ProblemDesc d{Op::qr, 48, 48, 1000, Dtype::f32};
+
+  const auto first = p.plan(cfg, d);
+  EXPECT_FALSE(first.from_cache);
+  const auto after_first = p.stats();
+  EXPECT_EQ(after_first.cache_misses, 1u);
+  EXPECT_EQ(after_first.plans_built, 1u);
+
+  const auto second = p.plan(cfg, d);
+  EXPECT_TRUE(second.from_cache);
+  const auto after_second = p.stats();
+  EXPECT_EQ(after_second.cache_hits, 1u);
+  // The hot path never re-enumerates or re-scores.
+  EXPECT_EQ(after_second.plans_built, 1u);
+
+  EXPECT_EQ(second.approach, first.approach);
+  EXPECT_EQ(second.threads, first.threads);
+  EXPECT_EQ(second.layout, first.layout);
+  EXPECT_DOUBLE_EQ(second.predicted_cycles, first.predicted_cycles);
+}
+
+TEST(PlanCache, DeviceReconfigurationInvalidates) {
+  Planner p;
+  auto cfg = quadro();
+  const ProblemDesc d{Op::qr, 48, 48, 1000, Dtype::f32};
+  (void)p.plan(cfg, d);
+
+  cfg.fast_math = !cfg.fast_math;  // any config field change re-keys
+  EXPECT_NE(Planner::config_fingerprint(quadro()),
+            Planner::config_fingerprint(cfg));
+  const auto replanned = p.plan(cfg, d);
+  EXPECT_FALSE(replanned.from_cache);
+  EXPECT_EQ(p.stats().cache_misses, 2u);
+  EXPECT_EQ(p.stats().plans_built, 2u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsed) {
+  Planner p(Planner::Options{.cache_capacity = 2});
+  const auto cfg = quadro();
+  (void)p.plan(cfg, ProblemDesc{Op::qr, 8, 8, 10, Dtype::f32});
+  (void)p.plan(cfg, ProblemDesc{Op::qr, 9, 9, 10, Dtype::f32});
+  (void)p.plan(cfg, ProblemDesc{Op::qr, 10, 10, 10, Dtype::f32});  // evicts 8
+  EXPECT_EQ(p.stats().evictions, 1u);
+  const auto re8 = p.plan(cfg, ProblemDesc{Op::qr, 8, 8, 10, Dtype::f32});
+  EXPECT_FALSE(re8.from_cache);
+}
+
+TEST(Planner, EveryCandidateIsScoredAndSorted) {
+  Planner p;
+  const auto cands =
+      p.candidates(quadro(), ProblemDesc{Op::qr, 64, 64, 512, Dtype::f32});
+  ASSERT_GE(cands.size(), 2u);  // at least pb64 and pb256
+  for (std::size_t i = 1; i < cands.size(); ++i)
+    EXPECT_LE(cands[i - 1].predicted_cycles, cands[i].predicted_cycles);
+  for (const auto& c : cands) {
+    EXPECT_GT(c.predicted_cycles, 0);
+    EXPECT_GT(c.predicted_gflops, 0);
+  }
+}
+
+TEST(Solver, QrEndToEndAndCacheHitOnRepeat) {
+  simt::Device dev;
+  Solver solver(dev);
+
+  BatchF batch(12, 24, 24), original = batch, taus;
+  fill_uniform(batch, 21);
+  original = batch;
+  const auto rep = solver.qr(batch, &taus);
+  EXPECT_EQ(rep.approach(), Approach::per_block);
+  EXPECT_FALSE(rep.cache_hit);
+  EXPECT_GT(rep.gflops(), 0);
+  EXPECT_TRUE(rep.all_solved());
+  EXPECT_LT(testing::worst_packed_qr_error(batch, original, taus), 5e-4f);
+
+  BatchF batch2(12, 24, 24), taus2;
+  fill_uniform(batch2, 22);
+  const auto rep2 = solver.qr(batch2, &taus2);
+  EXPECT_TRUE(rep2.cache_hit);
+  EXPECT_EQ(rep2.planner_hits, 1u);
+  EXPECT_EQ(rep2.planner_misses, 1u);
+}
+
+TEST(Solver, SolveMethodsBothSolve) {
+  simt::Device dev;
+  Solver solver(dev);
+
+  BatchF a(6, 20, 20), b(6, 20, 1);
+  fill_diag_dominant(a, 31);
+  fill_uniform(b, 32);
+  const BatchF a0 = a, b0 = b;
+
+  const auto qr = solver.solve(a, b, {.method = core::SolveMethod::qr});
+  EXPECT_TRUE(qr.all_solved());
+  EXPECT_LT(testing::worst_solve_residual(a0, b, b0), 2e-4f);
+
+  BatchF a2 = a0, b2 = b0;
+  const auto gj =
+      solver.solve(a2, b2, {.method = core::SolveMethod::gauss_jordan});
+  EXPECT_TRUE(gj.all_solved());
+  EXPECT_LT(testing::worst_solve_residual(a0, b2, b0), 2e-4f);
+}
+
+TEST(Solver, AutotuneRecordsModelError) {
+  simt::Device dev;
+  Solver::Options opt;
+  opt.planner.autotune = true;
+  opt.planner.autotune_top_k = 2;
+  opt.planner.autotune_sample_batch = 32;
+  Solver solver(dev, opt);
+
+  BatchF batch(64, 40, 40);
+  fill_uniform(batch, 41);
+  const auto rep = solver.qr(batch);
+  EXPECT_TRUE(rep.plan.autotuned);
+  EXPECT_GT(rep.plan.measured_cycles, 0);
+  EXPECT_GE(rep.plan.model_rel_error, 0);
+  const auto s = solver.planner().stats();
+  EXPECT_GE(s.autotune_runs, 2u);
+  EXPECT_EQ(s.model_error_count, 1u);
+  EXPECT_GT(simt::stat_get("planner.model_error_last"), -1);
+}
+
+}  // namespace
+}  // namespace regla

@@ -164,12 +164,13 @@ TEST(BatchedApi, SolvePaths) {
   fill_diag_dominant(a, 4);
   fill_uniform(b, 5);
   BatchF a0 = a, b0 = b;
-  auto out = batched_solve(dev, a, b, /*stable=*/true);
+  auto out = batched_solve(dev, a, b, SolveOptions{.method = SolveMethod::qr});
   EXPECT_EQ(out.approach, Approach::per_block);
   EXPECT_LT(testing::worst_solve_residual(a0, b, b0), 2e-4f);
 
   BatchF a2 = a0, b2 = b0;
-  auto out2 = batched_solve(dev, a2, b2, /*stable=*/false);
+  auto out2 = batched_solve(dev, a2, b2,
+                            SolveOptions{.method = SolveMethod::gauss_jordan});
   EXPECT_LT(testing::worst_solve_residual(a0, b2, b0), 2e-4f);
   EXPECT_EQ(out2.approach, Approach::per_block);
 
@@ -177,7 +178,8 @@ TEST(BatchedApi, SolvePaths) {
   fill_diag_dominant(a3, 7);
   fill_uniform(b3, 8);
   BatchF a30 = a3, b30 = b3;
-  auto out3 = batched_solve(dev, a3, b3, /*stable=*/false);
+  auto out3 = batched_solve(dev, a3, b3,
+                            SolveOptions{.method = SolveMethod::gauss_jordan});
   EXPECT_EQ(out3.approach, Approach::per_thread);
   EXPECT_LT(testing::worst_solve_residual(a30, b3, b30), 5e-5f);
 }
