@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-2 race gate: build the concurrency-bearing subsystems under
+# ThreadSanitizer and run the tests that exercise threads — the thread pool,
+# the shared plan cache / planner, the serving runtime's queueing machinery,
+# and the fiber scheduler (built on ucontext in this preset so TSan can see
+# the context switches; the hand-rolled asm switch is invisible to it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target regla_tests
+
+# halt_on_error keeps the first report close to its cause; second_deadlock_stack
+# makes lock-order reports actionable.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+
+# RuntimeQueue.* drive the runtime through the solve_override hook (pure
+# queueing, no kernels); RuntimeSolve.* add real fiber-backed launches.
+./build-tsan/tests/regla_tests \
+  --gtest_filter='ThreadPool*:PlanCache*:RuntimeQueue*:RuntimeSolve*:TimerWheel*:Fiber*'
+
+echo "tier2 tsan: clean"

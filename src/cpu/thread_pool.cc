@@ -25,12 +25,38 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::run_one(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dropped_exceptions_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --queued_running_;
+    if (queued_running_ == 0 && queue_.empty()) cv_done_.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop(int index) {
   for (;;) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] { return stop_ || has_work_[index]; });
+      cv_work_.wait(lock, [&] {
+        return stop_ || has_work_[index] || !queue_.empty();
+      });
+      if (!queue_.empty()) {
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        ++queued_running_;
+        lock.unlock();
+        run_one(job);
+        continue;
+      }
+      // stop_ is only honored once the submit() queue has drained, so the
+      // destructor's join never abandons accepted work.
       if (stop_) return;
       task = tasks_[index];
       has_work_[index] = false;
@@ -86,9 +112,39 @@ void ThreadPool::parallel_for(int count, const std::function<void(int)>& fn) {
   }
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    // No helper threads: run inline so the task still happens exactly once.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++queued_running_;
+    }
+    run_one(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return queue_.empty() && queued_running_ == 0; });
+}
+
+std::uint64_t ThreadPool::dropped_exceptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_exceptions_;
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  // Leaked on purpose — see the header: a destroyed global pool is a
+  // use-after-free trap for anything that runs after static destructors
+  // start, and joining threads at exit buys nothing.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
 }
 
 }  // namespace regla::cpu

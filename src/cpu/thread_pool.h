@@ -1,9 +1,13 @@
-// A small work-stealing-free thread pool for batched CPU linear algebra:
-// the paper's MKL baseline "distributes the problems evenly across all four
-// cores using pthreads"; parallel_for does exactly that (static chunking).
+// A small work-stealing-free thread pool for batched CPU linear algebra and
+// the serving runtime: the paper's MKL baseline "distributes the problems
+// evenly across all four cores using pthreads"; parallel_for does exactly
+// that (static chunking). submit() adds a fire-and-forget task queue on the
+// same workers, which is what the async runtime's flush jobs ride on.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -15,6 +19,8 @@ class ThreadPool {
  public:
   /// workers = 0 picks std::thread::hardware_concurrency().
   explicit ThreadPool(int workers = 0);
+  /// Joins after draining: queued submit() tasks still run to completion
+  /// before the workers exit.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -27,7 +33,24 @@ class ThreadPool {
   /// workers are rethrown on the caller (first one wins).
   void parallel_for(int count, const std::function<void(int)>& fn);
 
-  /// Process-wide pool (lazily constructed).
+  /// Enqueue a fire-and-forget task for any worker to run. Tasks must handle
+  /// their own errors: an exception escaping a task is swallowed (counted in
+  /// dropped_exceptions()). A single-threaded pool (workers() == 1) has no
+  /// helper to hand off to, so the task runs inline on the caller.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+  /// Exceptions that escaped submitted tasks (they are dropped, not
+  /// rethrown — there is no caller to rethrow on).
+  std::uint64_t dropped_exceptions() const;
+
+  /// Process-wide pool. Lazily constructed and intentionally never
+  /// destroyed: a static-destruction-order teardown used to let
+  /// late-exiting code (other static destructors, atexit hooks) call into a
+  /// pool whose threads were already joined. Leaking the singleton keeps it
+  /// valid for the whole process lifetime; the OS reclaims the threads.
   static ThreadPool& global();
 
  private:
@@ -38,16 +61,20 @@ class ThreadPool {
   };
 
   void worker_loop(int index);
+  void run_one(std::function<void()>& task);
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  std::vector<Task> tasks_;       // one slot per worker
+  std::vector<Task> tasks_;       // one slot per worker (parallel_for)
   std::vector<bool> has_work_;
+  std::deque<std::function<void()>> queue_;  // submit() tasks
+  int queued_running_ = 0;        // submit() tasks currently executing
   int outstanding_ = 0;
   bool stop_ = false;
   std::exception_ptr error_;
+  std::uint64_t dropped_exceptions_ = 0;
 };
 
 }  // namespace regla::cpu

@@ -63,6 +63,12 @@ struct Plan {
   /// Division/sqrt mode the plan was scored under (mirrors cfg.fast_math;
   /// candidates for the other mode appear only in explore_fast_math runs).
   bool fast_math = true;
+  /// Problems resident on the chip in one launch wave under this mapping
+  /// (per-thread: resident threads; per-block: resident blocks; tiled: the
+  /// tightest step). This is the model's batch quantum — a device batch of
+  /// this many problems fills the chip exactly once, and the serving
+  /// runtime coalesces toward a multiple of it.
+  int concurrent = 0;
 
   // --- Model verdict (whole batch, chip cycles on the configured device) --
   double predicted_cycles = 0;

@@ -99,6 +99,13 @@ std::optional<Plan> score_per_thread(const regla::simt::DeviceConfig& cfg,
   p.fast_math = cfg.fast_math;
   p.predicted_cycles = seconds * cfg.clock_ghz * 1e9;
   p.predicted_gflops = flops * d.batch / seconds / 1e9;
+  // One problem per thread: the wave quantum is the resident thread count.
+  const int regs = std::min(cfg.max_regs_per_thread,
+                            tile_words + cfg.reg_overhead_per_thread);
+  const auto occ =
+      regla::simt::occupancy(cfg, core::kPerThreadBlockSize, regs, 0);
+  p.concurrent = std::max(1, occ.blocks_per_sm) * cfg.num_sm *
+                 core::kPerThreadBlockSize;
   return p;
 }
 
@@ -154,6 +161,7 @@ std::optional<Plan> score_per_block(const regla::simt::DeviceConfig& cfg,
   p.approach = core::Approach::per_block;
   p.threads = threads;
   p.fast_math = cfg.fast_math;
+  p.concurrent = concurrent;
   p.predicted_cycles = batch_cycles(cycles_block, d.batch, concurrent);
   p.predicted_gflops =
       op_flops * d.batch / p.predicted_cycles * cfg.clock_ghz;
@@ -204,6 +212,7 @@ std::optional<Plan> score_tiled(const regla::simt::DeviceConfig& cfg,
   p.approach = core::Approach::tiled;
   p.threads = threads;
   p.fast_math = cfg.fast_math;
+  p.concurrent = std::max(1, min_concurrent);
   p.predicted_cycles = cycles;
   p.predicted_gflops = op_flops * d.batch / cycles * cfg.clock_ghz;
   return p;
@@ -260,7 +269,7 @@ void enumerate(const regla::simt::DeviceConfig& cfg, const ProblemDesc& d,
 
 }  // namespace
 
-Planner::Planner(Options opt) : opt_(opt) {}
+Planner::Planner(Options opt) : opt_(opt), cache_(opt.cache_capacity) {}
 
 std::uint64_t Planner::config_fingerprint(const regla::simt::DeviceConfig& cfg) {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a
@@ -294,19 +303,6 @@ std::uint64_t Planner::config_fingerprint(const regla::simt::DeviceConfig& cfg) 
   mix_d(cfg.sync_cycles_per_warp); mix_d(cfg.dram_overlap_factor);
   mix(cfg.fast_math ? 1 : 0);
   return h;
-}
-
-std::size_t Planner::KeyHash::operator()(const Key& k) const {
-  std::uint64_t h = k.fingerprint;
-  const auto mix = [&h](std::uint64_t v) {
-    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  };
-  mix(static_cast<std::uint64_t>(k.desc.op));
-  mix(static_cast<std::uint64_t>(k.desc.dtype));
-  mix(static_cast<std::uint64_t>(k.desc.m));
-  mix(static_cast<std::uint64_t>(k.desc.n));
-  mix(static_cast<std::uint64_t>(k.desc.batch));
-  return static_cast<std::size_t>(h);
 }
 
 std::vector<Plan> Planner::candidates(const regla::simt::DeviceConfig& cfg,
@@ -383,45 +379,23 @@ Plan Planner::build_plan(const regla::simt::DeviceConfig& cfg,
 
 Plan Planner::plan(const regla::simt::DeviceConfig& cfg,
                    const ProblemDesc& desc) {
-  const Key key{desc, config_fingerprint(cfg)};
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = index_.find(key);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++stats_.cache_hits;
-      export_stats();
-      Plan p = it->second->plan;
-      p.from_cache = true;
-      return p;
-    }
-    ++stats_.cache_misses;
+  const PlanCache::Key key{desc, config_fingerprint(cfg)};
+  if (std::optional<Plan> hit = cache_.find(key)) {
+    export_stats();
+    return *hit;
   }
-  // Build outside the lock: autotune runs real (simulated) launches.
+  // Build outside any lock: autotune runs real (simulated) launches. Two
+  // threads racing on the same fresh signature both build; plans are
+  // deterministic functions of (cfg, desc), so whichever insert lands last
+  // overwrites with an identical value.
   Plan built = build_plan(cfg, desc);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.plans_built;
-    insert(key, built);
-    export_stats();
   }
+  cache_.insert(key, built);
+  export_stats();
   return built;
-}
-
-void Planner::insert(const Key& key, const Plan& plan) {
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->plan = plan;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
-  lru_.push_front(Entry{key, plan});
-  index_[key] = lru_.begin();
-  while (index_.size() > opt_.cache_capacity) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
-  }
 }
 
 void Planner::set_measure_fn(MeasureFn fn) {
@@ -430,28 +404,38 @@ void Planner::set_measure_fn(MeasureFn fn) {
 }
 
 PlannerStats Planner::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  PlannerStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s = stats_;
+  }
+  const PlanCacheStats c = cache_.stats();
+  s.cache_hits = c.hits;
+  s.cache_misses = c.misses;
+  s.evictions = c.evictions;
+  return s;
 }
 
 void Planner::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  stats_ = PlannerStats{};
+  cache_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = PlannerStats{};
+  }
   export_stats();
 }
 
 void Planner::export_stats() const {
+  const PlannerStats s = stats();
   regla::simt::stat_set("planner.cache_hits",
-                        static_cast<double>(stats_.cache_hits));
+                        static_cast<double>(s.cache_hits));
   regla::simt::stat_set("planner.cache_misses",
-                        static_cast<double>(stats_.cache_misses));
+                        static_cast<double>(s.cache_misses));
   regla::simt::stat_set("planner.plans_built",
-                        static_cast<double>(stats_.plans_built));
+                        static_cast<double>(s.plans_built));
   regla::simt::stat_set("planner.autotune_runs",
-                        static_cast<double>(stats_.autotune_runs));
-  regla::simt::stat_set("planner.model_error_mean", stats_.mean_model_error());
+                        static_cast<double>(s.autotune_runs));
+  regla::simt::stat_set("planner.model_error_mean", s.mean_model_error());
 }
 
 }  // namespace regla::planner

@@ -26,12 +26,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "planner/plan.h"
+#include "planner/plan_cache.h"
 #include "simt/device_config.h"
 
 namespace regla::planner {
@@ -82,7 +81,10 @@ class Planner {
 
   /// The plan for this signature on this device: cached if seen before,
   /// otherwise enumerated, scored, optionally autotuned, and inserted.
-  /// Thread-safe. REGLA_CHECKs if no kernel can run the problem at all.
+  /// Thread-safe (the cache is a PlanCache; two threads missing the same
+  /// signature at once both build it and the later insert wins — plans for a
+  /// signature are deterministic, so the duplicate work is harmless).
+  /// REGLA_CHECKs if no kernel can run the problem at all.
   Plan plan(const regla::simt::DeviceConfig& cfg, const ProblemDesc& desc);
 
   /// All admissible candidates, scored, cheapest first (no cache involved).
@@ -96,37 +98,26 @@ class Planner {
 
   Options options() const { return opt_; }
 
+  /// The underlying memo (thread-safe; shared by every caller of plan()).
+  PlanCache& cache() { return cache_; }
+  const PlanCache& cache() const { return cache_; }
+
   /// Hash of every DeviceConfig field the plans depend on; part of the cache
   /// key, so reconfiguring the device invalidates (by never matching) all
   /// plans made for the old configuration.
   static std::uint64_t config_fingerprint(const regla::simt::DeviceConfig& cfg);
 
  private:
-  struct Key {
-    ProblemDesc desc;
-    std::uint64_t fingerprint = 0;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
-  };
-  struct Entry {
-    Key key;
-    Plan plan;
-  };
-
   Plan build_plan(const regla::simt::DeviceConfig& cfg,
                   const ProblemDesc& desc);
-  void insert(const Key& key, const Plan& plan);
-  void export_stats() const;  // requires mutex_ held
+  void export_stats() const;  // takes its own snapshots; call without mutex_
 
   Options opt_;
   MeasureFn measure_;
 
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  PlannerStats stats_;
+  PlanCache cache_;
+  mutable std::mutex mutex_;  ///< guards measure_ and stats_
+  PlannerStats stats_;        ///< the non-cache counters (built/autotune/error)
 };
 
 }  // namespace regla::planner

@@ -34,18 +34,28 @@ core::BlockOptions block_opts(const planner::Plan& plan,
 }  // namespace
 
 Solver::Solver(simt::Device& dev, Options opt)
-    : dev_(dev), opt_(opt), planner_(opt.planner) {
+    : dev_(dev),
+      opt_(opt),
+      planner_(std::make_shared<planner::Planner>(opt.planner)) {
   if (opt_.planner.autotune)
-    planner_.set_measure_fn(
+    planner_->set_measure_fn(
         [this](const planner::ProblemDesc& sample, const planner::Plan& cand) {
           return measure(sample, cand);
         });
 }
 
+Solver::Solver(simt::Device& dev, std::shared_ptr<planner::Planner> shared,
+               Options opt)
+    : dev_(dev), opt_(opt), planner_(std::move(shared)) {
+  REGLA_CHECK_MSG(planner_ != nullptr, "shared planner must not be null");
+  // No measure callback here: autotune measurement binds a plan build to one
+  // Solver's device, which is a data race once siblings share the planner.
+}
+
 planner::Plan Solver::plan_for(planner::Op op, int m, int n, int batch,
                                planner::Dtype dtype) {
-  return planner_.plan(dev_.config(),
-                       planner::ProblemDesc{op, m, n, batch, dtype});
+  return planner_->plan(dev_.config(),
+                        planner::ProblemDesc{op, m, n, batch, dtype});
 }
 
 SolveReport Solver::finish(const planner::Plan& plan,
@@ -77,7 +87,7 @@ SolveReport Solver::finish_tiled(const planner::Plan& plan,
 }
 
 void Solver::stamp_planner_stats(SolveReport& report) const {
-  const planner::PlannerStats s = planner_.stats();
+  const planner::PlannerStats s = planner_->stats();
   report.planner_hits = s.cache_hits;
   report.planner_misses = s.cache_misses;
 }

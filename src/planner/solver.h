@@ -16,6 +16,7 @@
 // callers; this facade is the supported API going forward.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/batched.h"
@@ -70,6 +71,16 @@ class Solver {
 
   explicit Solver(simt::Device& dev, Options opt = {});
 
+  /// Share a planner (and its thread-safe plan cache) with other Solvers:
+  /// the serving runtime gives every worker stream its own Device + Solver
+  /// but one planner, so a signature planned on any stream is a cache hit on
+  /// all of them. `opt.planner` is ignored in this form — the shared
+  /// planner's own options govern. Autotune on a shared planner is
+  /// unsupported (the measure callback would race across devices), so this
+  /// form never installs one.
+  Solver(simt::Device& dev, std::shared_ptr<planner::Planner> shared,
+         Options opt = {});
+
   /// QR-factor every matrix in place (tiled path: R only, as in
   /// core::batched_qr).
   SolveReport qr(BatchF& batch, BatchF* taus = nullptr,
@@ -87,8 +98,10 @@ class Solver {
   SolveReport least_squares(BatchF& a, BatchF& b,
                             const core::SolveOptions& opts = {});
 
-  planner::Planner& planner() { return planner_; }
-  const planner::Planner& planner() const { return planner_; }
+  planner::Planner& planner() { return *planner_; }
+  const planner::Planner& planner() const { return *planner_; }
+  /// The planner as a shareable handle (for spinning up sibling Solvers).
+  std::shared_ptr<planner::Planner> shared_planner() const { return planner_; }
   simt::Device& device() { return dev_; }
 
  private:
@@ -103,7 +116,7 @@ class Solver {
 
   simt::Device& dev_;
   Options opt_;
-  planner::Planner planner_;
+  std::shared_ptr<planner::Planner> planner_;
 };
 
 }  // namespace regla

@@ -1,0 +1,604 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+#include "simt/stats.h"
+
+namespace regla::runtime {
+
+namespace {
+
+int latency_bucket(double microseconds) {
+  if (microseconds <= 1.0) return 0;
+  const int i = static_cast<int>(std::lround(2.0 * std::log2(microseconds)));
+  return std::clamp(i, 0, RuntimeStats::kLatencyBuckets - 1);
+}
+
+double latency_bucket_upper_ms(int i) {
+  return std::pow(2.0, i / 2.0) / 1000.0;  // bucket bound in us -> ms
+}
+
+int batch_bucket(int problems) {
+  int i = 0;
+  while ((1 << (i + 1)) <= problems && i < RuntimeStats::kBatchBuckets - 1) ++i;
+  return i;
+}
+
+}  // namespace
+
+double RuntimeStats::latency_quantile_ms(double q) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : latency_hist) total += c;
+  if (total == 0) return 0;
+  const double rank = q * static_cast<double>(total - 1);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    seen += latency_hist[i];
+    if (static_cast<double>(seen) > rank) return latency_bucket_upper_ms(i);
+  }
+  return latency_bucket_upper_ms(kLatencyBuckets - 1);
+}
+
+std::size_t SignatureHash::operator()(const Signature& s) const {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(s.op));
+  mix(static_cast<std::uint64_t>(s.m));
+  mix(static_cast<std::uint64_t>(s.n));
+  mix(static_cast<std::uint64_t>(s.dtype));
+  mix(static_cast<std::uint64_t>(s.threads));
+  mix(static_cast<std::uint64_t>(s.layout));
+  return static_cast<std::size_t>(h);
+}
+
+/// A worker stream: its own simulated device and Solver, sharing the
+/// runtime-wide planner (and thus its plan cache) with every sibling.
+struct Runtime::Stream {
+  simt::Device dev;
+  Solver solver;
+
+  Stream(const simt::DeviceConfig& cfg, std::shared_ptr<planner::Planner> p,
+         int host_threads)
+      : dev(cfg), solver(dev, std::move(p)) {
+    if (host_threads > 0) dev.set_host_workers(host_threads);
+  }
+};
+
+Runtime::Runtime(Options opt)
+    : opt_(std::move(opt)),
+      wheel_(Clock::now(), opt_.timer_granularity <= decltype(opt_.timer_granularity){0}
+                               ? std::chrono::microseconds{100}
+                               : opt_.timer_granularity,
+             std::max<std::size_t>(1, opt_.timer_slots)) {
+  REGLA_CHECK_MSG(!opt_.planner.autotune,
+                  "runtime streams share one planner; autotune measurement "
+                  "would race across their devices — plan without it");
+  REGLA_CHECK(opt_.max_flush_problems > 0 && opt_.max_queue_problems > 0);
+  opt_.workers = std::max(1, opt_.workers);
+  opt_.target_waves = std::max(1, opt_.target_waves);
+  planner_ = std::make_shared<planner::Planner>(opt_.planner);
+
+  int host_threads = opt_.host_threads_per_stream;
+  if (host_threads <= 0) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    host_threads = std::max(1, hw / opt_.workers);
+  }
+  streams_.reserve(opt_.workers);
+  for (int i = 0; i < opt_.workers; ++i) {
+    streams_.push_back(
+        std::make_unique<Stream>(opt_.device, planner_, host_threads));
+    free_streams_.push_back(streams_.back().get());
+  }
+  // workers + 1 so the pool has exactly `workers` helper threads for
+  // submit() jobs (the constructing thread only counts for parallel_for).
+  pool_ = std::make_unique<cpu::ThreadPool>(opt_.workers + 1);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Runtime::~Runtime() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructors must not throw; shutdown errors are already reflected in
+    // the affected futures.
+  }
+}
+
+int Runtime::preferred_batch(const Signature& sig) const {
+  const planner::ProblemDesc desc{sig.op, sig.m, sig.n,
+                                  opt_.max_flush_problems, sig.dtype};
+  const planner::Plan plan = planner_->plan(opt_.device, desc);
+  const long target = static_cast<long>(std::max(1, plan.concurrent)) *
+                      opt_.target_waves;
+  return static_cast<int>(
+      std::clamp<long>(target, 1, opt_.max_flush_problems));
+}
+
+// --- Submission ------------------------------------------------------------
+
+namespace {
+
+void validate_f32(planner::Op op, const BatchF& a, const BatchF& b) {
+  REGLA_CHECK_MSG(a.count() > 0 && a.rows() > 0 && a.cols() > 0,
+                  "empty submission");
+  switch (op) {
+    case planner::Op::qr:
+    case planner::Op::lu:
+      REGLA_CHECK_MSG(b.count() == 0,
+                      "qr/lu take no right-hand side; submit a alone");
+      break;
+    case planner::Op::solve_qr:
+    case planner::Op::solve_gj:
+      REGLA_CHECK_MSG(a.rows() == a.cols(), "solves need square problems");
+      REGLA_CHECK_MSG(b.count() == a.count() && b.rows() == a.rows() &&
+                          b.cols() == 1,
+                      "solve rhs must be count x n x 1");
+      break;
+    case planner::Op::least_squares:
+      REGLA_CHECK_MSG(b.count() == a.count() && b.rows() == a.rows() &&
+                          b.cols() == 1,
+                      "least-squares rhs must be count x m x 1");
+      break;
+  }
+}
+
+}  // namespace
+
+std::future<Report> Runtime::submit(planner::Op op, BatchF a, BatchF b,
+                                    const core::SolveOptions& opts) {
+  validate_f32(op, a, b);
+  const Signature sig{op, a.rows(), a.cols(), planner::Dtype::f32,
+                      opts.threads, opts.layout};
+  Payload p;
+  p.a = std::move(a);
+  p.b = std::move(b);
+  return enqueue(sig, std::move(p), /*blocking=*/true, nullptr);
+}
+
+std::future<Report> Runtime::submit(planner::Op op, BatchC a,
+                                    const core::SolveOptions& opts) {
+  REGLA_CHECK_MSG(op == planner::Op::qr,
+                  "complex submissions support QR only (paper §VII)");
+  REGLA_CHECK_MSG(a.count() > 0 && a.rows() > 0 && a.cols() > 0,
+                  "empty submission");
+  const Signature sig{op, a.rows(), a.cols(), planner::Dtype::c64,
+                      opts.threads, opts.layout};
+  Payload p;
+  p.ca = std::move(a);
+  p.is_complex = true;
+  return enqueue(sig, std::move(p), /*blocking=*/true, nullptr);
+}
+
+std::optional<std::future<Report>> Runtime::try_submit(
+    planner::Op op, BatchF a, BatchF b, const core::SolveOptions& opts) {
+  validate_f32(op, a, b);
+  const Signature sig{op, a.rows(), a.cols(), planner::Dtype::f32,
+                      opts.threads, opts.layout};
+  Payload p;
+  p.a = std::move(a);
+  p.b = std::move(b);
+  bool rejected = false;
+  auto fut = enqueue(sig, std::move(p), /*blocking=*/false, &rejected);
+  if (rejected) return std::nullopt;
+  return fut;
+}
+
+std::future<Report> Runtime::enqueue(const Signature& sig, Payload payload,
+                                     bool blocking, bool* rejected) {
+  const int k = payload.problems();
+  // A request bigger than the whole queue bound could never be admitted —
+  // reject it now instead of blocking forever on space that cannot appear.
+  REGLA_CHECK_MSG(static_cast<std::size_t>(k) <= opt_.max_queue_problems,
+                  "submission larger than max_queue_problems");
+  std::vector<Batch> ready;
+  std::future<Report> fut;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    REGLA_CHECK_MSG(!closed_, "runtime is shut down");
+    auto [it, inserted] = queues_.try_emplace(sig);
+    Queue& q = it->second;
+    if (inserted) {
+      q.sig = sig;
+      // First request of this signature: ask the shared planner what batch
+      // fills the chip. REGLA_CHECKs here if no kernel admits the shape, so
+      // unsupported signatures fail at submit, not on a worker.
+      q.target = preferred_batch(sig);
+    }
+    // Backpressure: bounded pending problems per signature.
+    while (q.pending_problems + k >
+           static_cast<int>(opt_.max_queue_problems)) {
+      if (!blocking) {
+        *rejected = true;
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.rejected;
+        return {};
+      }
+      ++q.space_waiters;
+      cv_space_.wait(lock, [&] {
+        return closed_ || q.pending_problems + k <=
+                              static_cast<int>(opt_.max_queue_problems);
+      });
+      --q.space_waiters;
+      REGLA_CHECK_MSG(!closed_,
+                      "runtime shut down while a submission was blocked");
+    }
+
+    Pending pending;
+    pending.payload = std::move(payload);
+    pending.enqueued = Clock::now();
+    fut = pending.promise.get_future();
+    q.pending.push_back(std::move(pending));
+    q.pending_problems += k;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.requests;
+      stats_.problems += static_cast<std::uint64_t>(k);
+    }
+
+    if (opt_.max_batch_delay.count() == 0) {
+      // Zero delay = no coalescing: the deadline expires on arrival.
+      while (!q.pending.empty())
+        ready.push_back(take_batch(q, FlushReason::deadline));
+    } else {
+      while (q.pending_problems >= q.target)
+        ready.push_back(take_batch(q, FlushReason::size));
+      update_timer(q);
+    }
+  }
+  for (Batch& b : ready) launch(std::move(b));
+  return fut;
+}
+
+Runtime::Batch Runtime::take_batch(Queue& q, FlushReason reason) {
+  Batch batch;
+  batch.sig = q.sig;
+  batch.reason = reason;
+  // Size flushes stop at the model's target; drains (deadline/manual/
+  // shutdown) take everything. Both respect the per-launch cap on whole
+  // requests — except a single oversized request, which flushes alone.
+  const int goal =
+      reason == FlushReason::size ? q.target : q.pending_problems;
+  while (!q.pending.empty() && batch.problems < goal) {
+    const int k = q.pending.front().payload.problems();
+    if (batch.problems > 0 && batch.problems + k > opt_.max_flush_problems)
+      break;
+    batch.requests.push_back(std::move(q.pending.front()));
+    q.pending.pop_front();
+    batch.problems += k;
+  }
+  q.pending_problems -= batch.problems;
+  if (q.space_waiters > 0) cv_space_.notify_all();
+  update_timer(q);
+  return batch;
+}
+
+void Runtime::update_timer(Queue& q) {
+  if (opt_.max_batch_delay.count() == 0) return;
+  if (q.pending.empty()) {
+    if (q.timer_id != 0) {
+      wheel_.cancel(q.timer_id);
+      timer_owner_.erase(q.timer_id);
+      q.timer_id = 0;
+    }
+    return;
+  }
+  const Clock::time_point deadline =
+      q.pending.front().enqueued + opt_.max_batch_delay;
+  if (q.timer_id != 0 && q.timer_deadline == deadline) return;
+  if (q.timer_id != 0) {
+    wheel_.cancel(q.timer_id);
+    timer_owner_.erase(q.timer_id);
+  }
+  q.timer_id = next_timer_id_++;
+  q.timer_deadline = deadline;
+  timer_owner_[q.timer_id] = q.sig;
+  wheel_.arm(q.timer_id, deadline);
+  cv_dispatch_.notify_one();
+}
+
+void Runtime::dispatcher_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!dispatcher_stop_) {
+    const Clock::time_point next = wheel_.next_deadline();
+    if (next == Clock::time_point::max()) {
+      cv_dispatch_.wait(lock);
+    } else {
+      const Clock::time_point now = Clock::now();
+      if (next > now) cv_dispatch_.wait_until(lock, next);
+    }
+    if (dispatcher_stop_) break;
+
+    std::vector<Batch> ready;
+    for (std::uint64_t id : wheel_.advance(Clock::now())) {
+      const auto owner = timer_owner_.find(id);
+      if (owner == timer_owner_.end()) continue;
+      const Signature sig = owner->second;
+      timer_owner_.erase(owner);
+      const auto qit = queues_.find(sig);
+      if (qit == queues_.end() || qit->second.timer_id != id) continue;
+      Queue& q = qit->second;
+      q.timer_id = 0;
+      while (!q.pending.empty())
+        ready.push_back(take_batch(q, FlushReason::deadline));
+    }
+    if (!ready.empty()) {
+      lock.unlock();
+      for (Batch& b : ready) launch(std::move(b));
+      lock.lock();
+    }
+  }
+}
+
+// --- Execution -------------------------------------------------------------
+
+void Runtime::launch(Batch&& batch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++inflight_;
+  }
+  // shared_ptr because ThreadPool tasks are std::function (copyable).
+  auto shared = std::make_shared<Batch>(std::move(batch));
+  pool_->submit([this, shared] {
+    execute(*shared);
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    cv_idle_.notify_all();
+  });
+}
+
+SolveReport Runtime::solve_one(Stream& s, const Signature& sig, Payload& p) {
+  core::SolveOptions opts;
+  opts.threads = sig.threads;
+  opts.layout = sig.layout;
+  if (p.is_complex) return s.solver.qr(p.ca, nullptr, opts);
+  if (opt_.solve_override) return opt_.solve_override(sig, p.a, p.b);
+  switch (sig.op) {
+    case planner::Op::qr: return s.solver.qr(p.a, nullptr, opts);
+    case planner::Op::lu: return s.solver.lu(p.a, opts);
+    case planner::Op::solve_qr:
+      opts.method = core::SolveMethod::qr;
+      return s.solver.solve(p.a, p.b, opts);
+    case planner::Op::solve_gj:
+      opts.method = core::SolveMethod::gauss_jordan;
+      return s.solver.solve(p.a, p.b, opts);
+    case planner::Op::least_squares:
+      return s.solver.least_squares(p.a, p.b, opts);
+  }
+  REGLA_CHECK(false);
+  return {};
+}
+
+void Runtime::fulfill(Pending& req, const SolveReport& batch_report,
+                      const Batch& batch, int offset,
+                      Clock::time_point started) {
+  const int k = req.payload.problems();
+  Report r;
+  static_cast<SolveReport&>(r) = batch_report;
+  if (!batch_report.not_solved.empty()) {
+    // Slice the coalesced launch's per-problem flags to this request.
+    r.not_solved.assign(batch_report.not_solved.begin() + offset,
+                        batch_report.not_solved.begin() + offset + k);
+  }
+  r.flush = batch.reason;
+  r.coalesced_problems = batch.problems;
+  r.coalesced_requests = static_cast<int>(batch.requests.size());
+  r.queue_seconds =
+      std::chrono::duration<double>(started - req.enqueued).count();
+  r.a = std::move(req.payload.a);
+  r.b = std::move(req.payload.b);
+  r.ca = std::move(req.payload.ca);
+  record_latency(req.enqueued);
+  req.promise.set_value(std::move(r));
+}
+
+void Runtime::execute(Batch& batch) {
+  // Acquire a worker stream (there are exactly `workers` of them, matching
+  // the pool's helper threads, so this only blocks if outside work shares
+  // the pool).
+  Stream* stream = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(stream_mu_);
+    cv_stream_.wait(lock, [&] { return !free_streams_.empty(); });
+    stream = free_streams_.back();
+    free_streams_.pop_back();
+  }
+  const Clock::time_point started = Clock::now();
+
+  bool poisoned = false;
+  double device_seconds = 0;
+  try {
+    if (batch.requests.size() == 1) {
+      // Single request: solve its payload in place, no assembly copy.
+      const SolveReport r = solve_one(*stream, batch.sig, batch.requests[0].payload);
+      device_seconds += r.seconds;
+      fulfill(batch.requests[0], r, batch, 0, started);
+    } else if (batch.requests.front().payload.is_complex) {
+      BatchC big(batch.problems, batch.sig.m, batch.sig.n);
+      int off = 0;
+      for (const Pending& req : batch.requests) {
+        std::copy_n(req.payload.ca.data(), req.payload.ca.size(),
+                    big.data() + off * big.stride());
+        off += req.payload.ca.count();
+      }
+      Payload coalesced;
+      coalesced.ca = std::move(big);
+      coalesced.is_complex = true;
+      const SolveReport r = solve_one(*stream, batch.sig, coalesced);
+      device_seconds += r.seconds;
+      off = 0;
+      for (Pending& req : batch.requests) {
+        std::copy_n(coalesced.ca.data() + off * coalesced.ca.stride(),
+                    req.payload.ca.size(), req.payload.ca.data());
+        const int k = req.payload.ca.count();
+        fulfill(req, r, batch, off, started);
+        off += k;
+      }
+    } else {
+      const Payload& front = batch.requests.front().payload;
+      BatchF big_a(batch.problems, batch.sig.m, batch.sig.n);
+      BatchF big_b = front.b.count() > 0
+                         ? BatchF(batch.problems, front.b.rows(), 1)
+                         : BatchF();
+      int off = 0;
+      for (const Pending& req : batch.requests) {
+        std::copy_n(req.payload.a.data(), req.payload.a.size(),
+                    big_a.data() + off * big_a.stride());
+        if (big_b.count() > 0)
+          std::copy_n(req.payload.b.data(), req.payload.b.size(),
+                      big_b.data() + off * big_b.stride());
+        off += req.payload.a.count();
+      }
+      Payload coalesced;
+      coalesced.a = std::move(big_a);
+      coalesced.b = std::move(big_b);
+      const SolveReport r = solve_one(*stream, batch.sig, coalesced);
+      device_seconds += r.seconds;
+      off = 0;
+      for (Pending& req : batch.requests) {
+        const int k = req.payload.a.count();
+        std::copy_n(coalesced.a.data() + off * coalesced.a.stride(),
+                    req.payload.a.size(), req.payload.a.data());
+        if (coalesced.b.count() > 0)
+          std::copy_n(coalesced.b.data() + off * coalesced.b.stride(),
+                      req.payload.b.size(), req.payload.b.data());
+        fulfill(req, r, batch, off, started);
+        off += k;
+      }
+    }
+  } catch (...) {
+    poisoned = true;
+  }
+
+  if (poisoned) {
+    // Exception isolation: one bad request must not poison its batchmates.
+    // Re-run each request alone; only the ones that still throw get the
+    // exception on their future.
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      stats_.isolation_retries +=
+          static_cast<std::uint64_t>(batch.requests.size());
+    }
+    for (Pending& req : batch.requests) {
+      try {
+        const SolveReport r = solve_one(*stream, batch.sig, req.payload);
+        device_seconds += r.seconds;
+        Batch solo;
+        solo.sig = batch.sig;
+        solo.reason = batch.reason;
+        solo.problems = req.payload.problems();
+        solo.requests.resize(1);  // only for the counts in the Report
+        fulfill(req, r, solo, 0, started);
+      } catch (...) {
+        record_latency(req.enqueued);
+        req.promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.failed_requests;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    free_streams_.push_back(stream);
+  }
+  cv_stream_.notify_one();
+  record_batch_stats(batch, device_seconds);
+}
+
+// --- Draining --------------------------------------------------------------
+
+void Runtime::flush() {
+  std::vector<Batch> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [sig, q] : queues_)
+      while (!q.pending.empty())
+        ready.push_back(take_batch(q, FlushReason::manual));
+  }
+  for (Batch& b : ready) launch(std::move(b));
+}
+
+void Runtime::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void Runtime::shutdown() {
+  std::vector<Batch> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    for (auto& [sig, q] : queues_)
+      while (!q.pending.empty())
+        ready.push_back(take_batch(q, FlushReason::shutdown));
+    cv_space_.notify_all();  // blocked submitters observe closed_ and throw
+  }
+  for (Batch& b : ready) launch(std::move(b));
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dispatcher_stop_ = true;
+  }
+  cv_dispatch_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.reset();  // drains any queued jobs, then joins the workers
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  export_stats();
+}
+
+// --- Stats -----------------------------------------------------------------
+
+void Runtime::record_batch_stats(const Batch& batch, double device_seconds) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.batches;
+  stats_.coalesced_problems += static_cast<std::uint64_t>(batch.problems);
+  ++stats_.flushes[static_cast<int>(batch.reason)];
+  ++stats_.batch_hist[batch_bucket(batch.problems)];
+  stats_.device_seconds += device_seconds;
+  export_stats();
+}
+
+void Runtime::record_latency(Clock::time_point enqueued) {
+  const double us =
+      std::chrono::duration<double, std::micro>(Clock::now() - enqueued)
+          .count();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.latency_hist[latency_bucket(us)];
+}
+
+RuntimeStats Runtime::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Runtime::export_stats() const {
+  namespace ss = regla::simt;
+  ss::stat_set("runtime.requests", static_cast<double>(stats_.requests));
+  ss::stat_set("runtime.problems", static_cast<double>(stats_.problems));
+  ss::stat_set("runtime.rejected", static_cast<double>(stats_.rejected));
+  ss::stat_set("runtime.batches", static_cast<double>(stats_.batches));
+  ss::stat_set("runtime.mean_batch", stats_.mean_batch());
+  ss::stat_set("runtime.flush_size",
+               static_cast<double>(stats_.flushed(FlushReason::size)));
+  ss::stat_set("runtime.flush_deadline",
+               static_cast<double>(stats_.flushed(FlushReason::deadline)));
+  ss::stat_set("runtime.flush_manual",
+               static_cast<double>(stats_.flushed(FlushReason::manual)));
+  ss::stat_set("runtime.flush_shutdown",
+               static_cast<double>(stats_.flushed(FlushReason::shutdown)));
+  ss::stat_set("runtime.isolation_retries",
+               static_cast<double>(stats_.isolation_retries));
+  ss::stat_set("runtime.failed_requests",
+               static_cast<double>(stats_.failed_requests));
+  ss::stat_set("runtime.device_seconds", stats_.device_seconds);
+  ss::stat_set("runtime.p50_ms", stats_.p50_ms());
+  ss::stat_set("runtime.p99_ms", stats_.p99_ms());
+}
+
+}  // namespace regla::runtime

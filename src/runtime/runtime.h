@@ -1,0 +1,292 @@
+// regla::runtime::Runtime — the async batched-solve serving layer.
+//
+// The paper's premise is that register-resident kernels only pay off when
+// amortized over large batches, but real traffic arrives as many independent
+// callers each submitting a handful of small problems. The Runtime closes
+// that gap: submissions are coalesced into per-signature queues keyed by
+// (op, m, n, dtype, solve options), and a queue flushes to the device when
+// it has collected the planner's model-preferred batch (one full launch
+// wave, Plan::concurrent) or when the oldest request's deadline
+// (max_batch_delay) expires — whichever comes first. Flushed batches run on
+// a pool of worker streams (each stream owns a Device + Solver; all streams
+// share one planner, so a signature planned anywhere is a plan-cache hit
+// everywhere), and per-problem results scatter back to each submitter's
+// future.
+//
+//   runtime::Runtime rt;
+//   BatchF a(4, 32, 32);  // four 32x32 problems from this caller
+//   fill(a);
+//   auto fut = rt.submit(planner::Op::qr, std::move(a));
+//   ...                   // other callers submit concurrently
+//   runtime::Report r = fut.get();  // r.a holds the factors; r.report stats
+//
+// Backpressure: every queue is bounded (max_queue_problems). submit() blocks
+// until there is room; try_submit() fails fast with nullopt. An exception
+// while executing a coalesced batch does not poison its neighbors: the batch
+// is re-run one request at a time and only the offending request's future
+// carries the exception.
+//
+// Health: Runtime::stats() snapshots throughput counters, a coalesced
+// batch-size histogram, flush-reason counts, queue-full rejections and
+// latency quantiles; the same numbers are exported through the named-stats
+// registry (simt::stats) under "runtime.*".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/thread_pool.h"
+#include "planner/solver.h"
+#include "runtime/timer_wheel.h"
+
+namespace regla::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+/// Why a queue was pushed to the workers.
+enum class FlushReason : std::uint8_t { size = 0, deadline, manual, shutdown };
+inline constexpr int kNumFlushReasons = 4;
+
+inline const char* to_string(FlushReason r) {
+  switch (r) {
+    case FlushReason::size: return "size";
+    case FlushReason::deadline: return "deadline";
+    case FlushReason::manual: return "manual";
+    case FlushReason::shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+/// The coalescing key: requests merge into one device batch only when every
+/// field matches (same kernel family, same shapes, same solve options).
+struct Signature {
+  planner::Op op = planner::Op::qr;
+  int m = 0;
+  int n = 0;
+  planner::Dtype dtype = planner::Dtype::f32;
+  int threads = 0;               ///< SolveOptions::threads (0 = planner's)
+  core::Layout layout = core::Layout::cyclic2d;
+
+  bool operator==(const Signature&) const = default;
+};
+
+struct SignatureHash {
+  std::size_t operator()(const Signature& s) const;
+};
+
+/// What a submitter's future resolves to: the coalesced launch's SolveReport
+/// specialized to this request (not_solved is sliced to the request's own
+/// problems) plus the solved data, moved back out.
+struct Report : SolveReport {
+  FlushReason flush = FlushReason::size;
+  int coalesced_problems = 0;  ///< device-batch size this request rode in
+  int coalesced_requests = 0;  ///< submissions merged into that batch
+  double queue_seconds = 0;    ///< submit -> flush start
+  BatchF a;                    ///< the request's matrices, results in place
+  BatchF b;                    ///< rhs / solutions (solve and least-squares)
+  BatchC ca;                   ///< complex payload (c64 QR submissions)
+};
+
+struct RuntimeOptions {
+  /// Worker streams; each owns a simulated Device + Solver. Flushes from
+  /// different signatures execute concurrently across streams.
+  int workers = 2;
+  /// Host threads each stream's Device uses to run independent blocks
+  /// (0 = hardware_concurrency / workers, so streams do not oversubscribe).
+  int host_threads_per_stream = 0;
+  /// How long the oldest request in a queue may wait before the queue is
+  /// flushed below the model-preferred size. Zero disables coalescing:
+  /// every submission flushes immediately (the bench's baseline mode).
+  std::chrono::microseconds max_batch_delay{500};
+  /// Bound on problems pending per signature queue — the backpressure knob.
+  std::size_t max_queue_problems = 4096;
+  /// Cap on one coalesced device batch (whole requests; a single oversized
+  /// request still flushes alone).
+  int max_flush_problems = 2048;
+  /// Flush once a queue holds this many launch waves of the planned kernel
+  /// (target batch = target_waves * Plan::concurrent, capped by
+  /// max_flush_problems).
+  int target_waves = 1;
+  /// Timer wheel slot width for deadline tracking.
+  std::chrono::microseconds timer_granularity{100};
+  std::size_t timer_slots = 256;
+  /// Device configuration every worker stream is built with.
+  simt::DeviceConfig device = simt::DeviceConfig::quadro6000();
+  /// Options for the shared planner. Autotune must stay off (measuring
+  /// through a shared planner would race across worker devices).
+  planner::PlannerOptions planner;
+  /// Test/instrumentation hook: when set, replaces the Solver call for f32
+  /// batches. Receives the assembled device batch; may throw (fault
+  /// injection) — the runtime's isolation retry then re-runs per request.
+  std::function<SolveReport(const Signature&, BatchF& a, BatchF& b)>
+      solve_override;
+};
+
+/// Cumulative counters, also exported to simt::stats as "runtime.*".
+struct RuntimeStats {
+  std::uint64_t requests = 0;           ///< accepted submissions
+  std::uint64_t problems = 0;           ///< accepted problems
+  std::uint64_t rejected = 0;           ///< try_submit queue-full failures
+  std::uint64_t batches = 0;            ///< device batches executed
+  std::uint64_t coalesced_problems = 0; ///< problems through those batches
+  std::uint64_t flushes[kNumFlushReasons] = {};
+  std::uint64_t isolation_retries = 0;  ///< requests re-run solo after a batch exception
+  std::uint64_t failed_requests = 0;    ///< futures resolved with an exception
+  /// Simulated device time consumed by executed batches (the launches'
+  /// SolveReport::seconds summed) — the device-side cost coalescing
+  /// amortizes, independent of how fast the host simulates it.
+  double device_seconds = 0;
+
+  /// Coalesced batch-size histogram: bucket i counts batches of
+  /// [2^i, 2^(i+1)) problems.
+  static constexpr int kBatchBuckets = 16;
+  std::uint64_t batch_hist[kBatchBuckets] = {};
+
+  /// Submit->complete latency histogram, sqrt(2)-spaced buckets starting at
+  /// 1 us (bucket upper bound = 2^(i/2) us).
+  static constexpr int kLatencyBuckets = 56;
+  std::uint64_t latency_hist[kLatencyBuckets] = {};
+
+  double mean_batch() const {
+    return batches > 0
+               ? static_cast<double>(coalesced_problems) / static_cast<double>(batches)
+               : 0;
+  }
+  std::uint64_t flushed(FlushReason r) const {
+    return flushes[static_cast<int>(r)];
+  }
+  /// q in [0, 1]; resolution is one histogram bucket (~±19%).
+  double latency_quantile_ms(double q) const;
+  double p50_ms() const { return latency_quantile_ms(0.50); }
+  double p99_ms() const { return latency_quantile_ms(0.99); }
+};
+
+class Runtime {
+ public:
+  using Options = RuntimeOptions;
+
+  explicit Runtime(Options opt = {});
+  ~Runtime();  ///< shutdown(): drains pending work, joins all threads
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Submit `a` (and rhs `b` where the op takes one) for asynchronous
+  /// solution; a.count() may be any small batch >= 1. Blocks while the
+  /// signature's queue is full. The payload is moved in and returned inside
+  /// the future's Report with results written in place:
+  ///   qr            factors in a (taus are not retained), b unused
+  ///   lu            factors in a, b unused
+  ///   solve_qr/gj   solutions overwrite b (n x 1 per problem)
+  ///   least_squares x in the first n entries of each b (m x 1 per problem)
+  std::future<Report> submit(planner::Op op, BatchF a, BatchF b = {},
+                             const core::SolveOptions& opts = {});
+
+  /// Complex QR (the §VII STAP signature).
+  std::future<Report> submit(planner::Op op, BatchC a,
+                             const core::SolveOptions& opts = {});
+
+  /// Like submit() but never blocks: nullopt when the queue is full.
+  std::optional<std::future<Report>> try_submit(
+      planner::Op op, BatchF a, BatchF b = {},
+      const core::SolveOptions& opts = {});
+
+  /// Push every pending queue to the workers now, regardless of size.
+  void flush();
+  /// Block until every flushed batch has finished executing (pending queues
+  /// that have not reached a flush condition are NOT waited for).
+  void wait_idle();
+  /// Flush everything, drain the workers, stop the dispatcher. Idempotent;
+  /// further submissions throw. Called by the destructor.
+  void shutdown();
+
+  RuntimeStats stats() const;
+  std::shared_ptr<planner::Planner> planner() const { return planner_; }
+  const Options& options() const { return opt_; }
+
+  /// The model-preferred flush size for a signature (target_waves full
+  /// launch waves of the planned kernel), as the queues use it.
+  int preferred_batch(const Signature& sig) const;
+
+ private:
+  /// One submission's matrices. Exactly one of {a, ca} is populated.
+  struct Payload {
+    BatchF a, b;
+    BatchC ca;
+    bool is_complex = false;
+    int problems() const { return is_complex ? ca.count() : a.count(); }
+  };
+  struct Pending {
+    Payload payload;
+    std::promise<Report> promise;
+    Clock::time_point enqueued;
+  };
+  struct Queue {
+    Signature sig;
+    std::deque<Pending> pending;
+    int pending_problems = 0;
+    int target = 0;            ///< model-preferred flush size
+    std::uint64_t timer_id = 0;  ///< armed wheel timer, 0 = none
+    Clock::time_point timer_deadline{};  ///< deadline the armed timer tracks
+    int space_waiters = 0;     ///< submitters blocked on backpressure
+  };
+  struct Stream;  // Device + Solver, defined in runtime.cc
+  struct Batch {
+    Signature sig;
+    std::vector<Pending> requests;
+    int problems = 0;
+    FlushReason reason = FlushReason::size;
+  };
+
+  std::future<Report> enqueue(const Signature& sig, Payload payload,
+                              bool blocking, bool* rejected);
+  /// Pop whole requests from `q` up to the flush cap (requires mu_ held).
+  Batch take_batch(Queue& q, FlushReason reason);
+  /// Re-arm or cancel q's deadline timer after a mutation (requires mu_).
+  void update_timer(Queue& q);
+  void launch(Batch&& batch);
+  void execute(Batch& batch);
+  SolveReport solve_one(Stream& s, const Signature& sig, Payload& p);
+  void fulfill(Pending& req, const SolveReport& batch_report,
+               const Batch& batch, int offset, Clock::time_point started);
+  void dispatcher_loop();
+  void record_batch_stats(const Batch& batch, double device_seconds);
+  void record_latency(Clock::time_point enqueued);
+  void export_stats() const;  // requires stats_mu_ held
+
+  Options opt_;
+  std::shared_ptr<planner::Planner> planner_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::unique_ptr<cpu::ThreadPool> pool_;
+
+  mutable std::mutex mu_;  ///< queues, wheel, inflight, closed
+  std::unordered_map<Signature, Queue, SignatureHash> queues_;
+  TimerWheel wheel_;
+  std::unordered_map<std::uint64_t, Signature> timer_owner_;
+  std::uint64_t next_timer_id_ = 1;
+  int inflight_ = 0;
+  bool closed_ = false;
+  bool dispatcher_stop_ = false;
+  std::condition_variable cv_space_;     ///< backpressure waiters
+  std::condition_variable cv_idle_;      ///< wait_idle / shutdown drain
+  std::condition_variable cv_dispatch_;  ///< dispatcher timer wakeups
+
+  std::mutex stream_mu_;
+  std::condition_variable cv_stream_;
+  std::vector<Stream*> free_streams_;
+
+  mutable std::mutex stats_mu_;
+  RuntimeStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace regla::runtime

@@ -1,0 +1,120 @@
+// A single-level timing wheel over the monotonic clock: the runtime
+// dispatcher's deadline structure.
+//
+// Every pending-request queue arms at most one timer (its oldest request's
+// deadline), so the wheel holds one entry per active signature. Slots are
+// fixed-granularity buckets over std::chrono::steady_clock; arming hashes a
+// deadline to slot (tick % slots) and advancing walks the slots the clock
+// has passed, so arm/advance are O(1) amortized regardless of how many
+// deadlines are outstanding. Deadlines beyond one wheel revolution simply
+// stay in their slot with a later absolute tick and are skipped until their
+// lap comes around (the classic "rounds" scheme, kept as absolute ticks).
+//
+// Not thread-safe by itself: the Runtime serializes access under its own
+// mutex (the wheel is a data structure, not a service).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.h"
+
+namespace regla::runtime {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TimerWheel(Clock::time_point start, Clock::duration granularity,
+             std::size_t slots = 256)
+      : start_(start), gran_(granularity), slots_(slots) {
+    REGLA_CHECK(granularity.count() > 0 && slots > 0);
+  }
+
+  /// Arm timer `id` to fire once `deadline` has passed. Ids are
+  /// caller-assigned and must be unique among live timers.
+  void arm(std::uint64_t id, Clock::time_point deadline) {
+    std::uint64_t t = tick_of(deadline);
+    if (t < cursor_) t = cursor_;  // already-due deadlines fire next advance
+    slots_[t % slots_.size()].push_back(Entry{id, deadline, t});
+    ++armed_;
+  }
+
+  /// Disarm `id` (lazy: the entry is dropped when its slot is next walked).
+  void cancel(std::uint64_t id) {
+    if (armed_ == 0) return;
+    cancelled_.insert(id);
+    --armed_;
+  }
+
+  std::size_t armed() const { return armed_; }
+  bool empty() const { return armed_ == 0; }
+
+  /// Earliest armed deadline, or time_point::max() when nothing is armed.
+  /// O(live entries) — the runtime keeps one entry per active signature.
+  Clock::time_point next_deadline() const {
+    Clock::time_point next = Clock::time_point::max();
+    if (armed_ == 0) return next;
+    for (const auto& slot : slots_)
+      for (const Entry& e : slot)
+        if (!cancelled_.count(e.id) && e.deadline < next) next = e.deadline;
+    return next;
+  }
+
+  /// Walk every slot the clock has passed and return the ids whose deadline
+  /// is <= now (cancelled entries are silently dropped).
+  std::vector<std::uint64_t> advance(Clock::time_point now) {
+    std::vector<std::uint64_t> fired;
+    const std::uint64_t end = tick_of(now);
+    for (std::uint64_t t = cursor_; t <= end; ++t) {
+      auto& slot = slots_[t % slots_.size()];
+      for (std::size_t i = 0; i < slot.size();) {
+        Entry& e = slot[i];
+        if (e.tick != t) {  // a later lap of the wheel — not due this pass
+          ++i;
+          continue;
+        }
+        if (cancelled_.erase(e.id) > 0) {
+          e = slot.back();
+          slot.pop_back();
+          continue;
+        }
+        if (e.deadline <= now) {
+          fired.push_back(e.id);
+          --armed_;
+          e = slot.back();
+          slot.pop_back();
+          continue;
+        }
+        ++i;  // same granule, not yet due — the cursor stays on this slot
+      }
+    }
+    // Stay ON the end tick (not past it): its slot can still hold deadlines
+    // later within the same granule.
+    cursor_ = end;
+    return fired;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    Clock::time_point deadline;
+    std::uint64_t tick = 0;  ///< absolute tick this entry is due on
+  };
+
+  std::uint64_t tick_of(Clock::time_point tp) const {
+    if (tp <= start_) return 0;
+    return static_cast<std::uint64_t>((tp - start_) / gran_);
+  }
+
+  Clock::time_point start_;
+  Clock::duration gran_;
+  std::vector<std::vector<Entry>> slots_;
+  std::uint64_t cursor_ = 0;   ///< first tick not yet fully processed
+  std::size_t armed_ = 0;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace regla::runtime

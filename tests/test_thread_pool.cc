@@ -1,0 +1,95 @@
+// ThreadPool submit(): the fire-and-forget queue the runtime's flush jobs
+// ride on, next to the existing parallel_for machinery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "cpu/thread_pool.h"
+
+namespace regla {
+namespace {
+
+using cpu::ThreadPool;
+using namespace std::chrono_literals;
+
+TEST(ThreadPoolSubmit, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&ran] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolSubmit, SingleThreadedPoolRunsInline) {
+  ThreadPool pool(1);  // no helpers: the caller is the only worker
+  EXPECT_EQ(pool.workers(), 1);
+  bool ran = false;
+  pool.submit([&ran] { ran = true; });
+  // No wait_idle needed: with no helper to hand off to, submit ran it.
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolSubmit, ExceptionsAreSwallowedAndCounted) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  pool.submit([&ran] { ++ran; });
+  pool.submit([] { throw 42; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.dropped_exceptions(), 2u);
+}
+
+TEST(ThreadPoolSubmit, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);  // one helper: tasks queue up behind the sleeper
+    pool.submit([] { std::this_thread::sleep_for(20ms); });
+    for (int i = 0; i < 50; ++i) pool.submit([&ran] { ++ran; });
+  }  // ~ThreadPool must run all 50 before joining
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolSubmit, ManySubmittersConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 500; ++i)
+        pool.submit([&ran] { ++ran; });
+    });
+  }
+  for (auto& th : submitters) th.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 8 * 500);
+}
+
+TEST(ThreadPoolSubmit, CoexistsWithParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> submitted{0};
+  std::atomic<int> iterated{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&submitted] { ++submitted; });
+  pool.parallel_for(1000, [&iterated](int) { ++iterated; });
+  pool.wait_idle();
+  EXPECT_EQ(iterated.load(), 1000);
+  EXPECT_EQ(submitted.load(), 100);
+}
+
+TEST(ThreadPoolSubmit, GlobalPoolIsStableAndUsable) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> ran{0};
+  a.submit([&ran] { ++ran; });
+  a.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace regla
