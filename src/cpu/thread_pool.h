@@ -31,12 +31,23 @@ class ThreadPool {
   /// Run fn(i) for i in [0, count), statically chunked across workers plus
   /// the calling thread. Blocks until all iterations complete. Exceptions in
   /// workers are rethrown on the caller (first one wins).
+  ///
+  /// Must be externally serialized: the per-worker task slots
+  /// (tasks_/outstanding_/error_) are single-occupancy, so two threads
+  /// calling parallel_for on the same pool concurrently race. This is easy
+  /// to hit through global() — give each concurrent caller its own pool.
+  /// Workers also prefer submit() tasks over parallel_for chunks, so a
+  /// long-running submitted task (e.g. a runtime flush) delays chunks until
+  /// it finishes; keep latency-sensitive parallel_for work off pools that
+  /// take long submissions.
   void parallel_for(int count, const std::function<void(int)>& fn);
 
   /// Enqueue a fire-and-forget task for any worker to run. Tasks must handle
   /// their own errors: an exception escaping a task is swallowed (counted in
   /// dropped_exceptions()). A single-threaded pool (workers() == 1) has no
-  /// helper to hand off to, so the task runs inline on the caller.
+  /// helper to hand off to, so the task runs inline on the caller. Submitted
+  /// tasks share workers with — and take priority over — parallel_for (see
+  /// its note on starvation).
   void submit(std::function<void()> task);
 
   /// Block until every task submitted so far has finished.

@@ -201,15 +201,19 @@ std::future<Report> Runtime::enqueue(const Signature& sig, Payload payload,
   {
     std::unique_lock<std::mutex> lock(mu_);
     REGLA_CHECK_MSG(!closed_, "runtime is shut down");
-    auto [it, inserted] = queues_.try_emplace(sig);
-    Queue& q = it->second;
-    if (inserted) {
-      q.sig = sig;
+    auto it = queues_.find(sig);
+    if (it == queues_.end()) {
       // First request of this signature: ask the shared planner what batch
       // fills the chip. REGLA_CHECKs here if no kernel admits the shape, so
-      // unsupported signatures fail at submit, not on a worker.
-      q.target = preferred_batch(sig);
+      // unsupported signatures fail at submit, not on a worker — and the
+      // throw happens before the queue exists, so a rejected signature
+      // leaves no zombie entry (whose target=0 would make take_batch spin).
+      const int target = preferred_batch(sig);
+      it = queues_.try_emplace(sig).first;
+      it->second.sig = sig;
+      it->second.target = target;
     }
+    Queue& q = it->second;
     // Backpressure: bounded pending problems per signature.
     while (q.pending_problems + k >
            static_cast<int>(opt_.max_queue_problems)) {
@@ -262,8 +266,10 @@ Runtime::Batch Runtime::take_batch(Queue& q, FlushReason reason) {
   // Size flushes stop at the model's target; drains (deadline/manual/
   // shutdown) take everything. Both respect the per-launch cap on whole
   // requests — except a single oversized request, which flushes alone.
-  const int goal =
-      reason == FlushReason::size ? q.target : q.pending_problems;
+  // The max(1) keeps a batch making progress even if a target were ever
+  // zero, so callers looping on pending_problems cannot spin forever.
+  const int goal = std::max(
+      1, reason == FlushReason::size ? q.target : q.pending_problems);
   while (!q.pending.empty() && batch.problems < goal) {
     const int k = q.pending.front().payload.problems();
     if (batch.problems > 0 && batch.problems + k > opt_.max_flush_problems)
@@ -345,10 +351,18 @@ void Runtime::launch(Batch&& batch) {
   // shared_ptr because ThreadPool tasks are std::function (copyable).
   auto shared = std::make_shared<Batch>(std::move(batch));
   pool_->submit([this, shared] {
+    // RAII: the pool swallows escaping exceptions, so if execute() ever
+    // throws, a bare decrement after it would be skipped and
+    // wait_idle()/shutdown() would block forever.
+    struct InflightGuard {
+      Runtime* rt;
+      ~InflightGuard() {
+        std::lock_guard<std::mutex> lock(rt->mu_);
+        --rt->inflight_;
+        rt->cv_idle_.notify_all();
+      }
+    } guard{this};
     execute(*shared);
-    std::lock_guard<std::mutex> lock(mu_);
-    --inflight_;
-    cv_idle_.notify_all();
   });
 }
 
@@ -408,6 +422,19 @@ void Runtime::execute(Batch& batch) {
     stream = free_streams_.back();
     free_streams_.pop_back();
   }
+  // RAII so the stream returns to the free list even if an exception
+  // escapes below; losing one would shrink the pool for good.
+  struct StreamGuard {
+    Runtime* rt;
+    Stream* s;
+    ~StreamGuard() {
+      {
+        std::lock_guard<std::mutex> lock(rt->stream_mu_);
+        rt->free_streams_.push_back(s);
+      }
+      rt->cv_stream_.notify_one();
+    }
+  } stream_guard{this, stream};
   const Clock::time_point started = Clock::now();
 
   bool poisoned = false;
@@ -496,18 +523,19 @@ void Runtime::execute(Batch& batch) {
         fulfill(req, r, solo, 0, started);
       } catch (...) {
         record_latency(req.enqueued);
-        req.promise.set_exception(std::current_exception());
+        try {
+          req.promise.set_exception(std::current_exception());
+        } catch (const std::future_error&) {
+          // Already satisfied: the coalesced pass fulfilled this request
+          // before a later fulfill() threw mid-scatter. The requester has
+          // its result; nothing to deliver.
+        }
         std::lock_guard<std::mutex> slock(stats_mu_);
         ++stats_.failed_requests;
       }
     }
   }
 
-  {
-    std::lock_guard<std::mutex> lock(stream_mu_);
-    free_streams_.push_back(stream);
-  }
-  cv_stream_.notify_one();
   record_batch_stats(batch, device_seconds);
 }
 

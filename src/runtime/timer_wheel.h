@@ -14,6 +14,7 @@
 // mutex (the wheel is a data structure, not a service).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <unordered_set>
@@ -42,11 +43,13 @@ class TimerWheel {
     ++armed_;
   }
 
-  /// Disarm `id` (lazy: the entry is dropped when its slot is next walked).
+  /// Disarm `id` (lazy: the entry is dropped when its slot is next walked,
+  /// or eagerly with the whole wheel once the last live timer is gone).
   void cancel(std::uint64_t id) {
     if (armed_ == 0) return;
     cancelled_.insert(id);
     --armed_;
+    if (armed_ == 0) purge();
   }
 
   std::size_t armed() const { return armed_; }
@@ -63,41 +66,55 @@ class TimerWheel {
     return next;
   }
 
-  /// Walk every slot the clock has passed and return the ids whose deadline
-  /// is <= now (cancelled entries are silently dropped).
+  /// Walk the slots the clock has passed and return the ids whose deadline
+  /// is <= now (cancelled entries are silently dropped). Each slot is
+  /// visited at most once per call: a slot holds every lap's entries, so one
+  /// pass over the array covers any span — advancing after a long idle gap
+  /// costs O(slots), never O(elapsed ticks).
   std::vector<std::uint64_t> advance(Clock::time_point now) {
     std::vector<std::uint64_t> fired;
     const std::uint64_t end = tick_of(now);
-    for (std::uint64_t t = cursor_; t <= end; ++t) {
-      auto& slot = slots_[t % slots_.size()];
+    if (end < cursor_) return fired;
+    const std::uint64_t nvisit =
+        std::min<std::uint64_t>(end - cursor_ + 1, slots_.size());
+    for (std::uint64_t k = 0; k < nvisit; ++k) {
+      auto& slot = slots_[(cursor_ + k) % slots_.size()];
       for (std::size_t i = 0; i < slot.size();) {
         Entry& e = slot[i];
-        if (e.tick != t) {  // a later lap of the wheel — not due this pass
-          ++i;
-          continue;
-        }
-        if (cancelled_.erase(e.id) > 0) {
+        if (cancelled_.erase(e.id) > 0) {  // dead on sight, whatever its lap
           e = slot.back();
           slot.pop_back();
           continue;
         }
-        if (e.deadline <= now) {
+        if (e.tick <= end && e.deadline <= now) {
           fired.push_back(e.id);
           --armed_;
           e = slot.back();
           slot.pop_back();
           continue;
         }
-        ++i;  // same granule, not yet due — the cursor stays on this slot
+        // A later lap of the wheel, or due later within the `end` granule.
+        ++i;
       }
     }
     // Stay ON the end tick (not past it): its slot can still hold deadlines
     // later within the same granule.
     cursor_ = end;
+    if (armed_ == 0) purge();
     return fired;
   }
 
  private:
+  // With no live timers, every remaining slot entry is a lazily-cancelled
+  // leftover. Dropping them all bounds the wheel's memory by its live
+  // timers instead of by its cancellation history.
+  void purge() {
+    if (!cancelled_.empty()) {
+      for (auto& slot : slots_) slot.clear();
+      cancelled_.clear();
+    }
+  }
+
   struct Entry {
     std::uint64_t id = 0;
     Clock::time_point deadline;

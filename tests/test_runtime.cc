@@ -235,6 +235,26 @@ TEST(RuntimeQueue, ShutdownFlushesPendingAndCloses) {
   EXPECT_EQ(rt.stats().flushed(FlushReason::shutdown), 1u);
 }
 
+// An unsupported signature must fail at submit() — and fail the same way on
+// a retry. Regression: the planner rejection used to fire after the queue
+// entry was inserted, leaving a zombie queue with target 0 whose next
+// submission spun forever in the size-flush loop under the runtime mutex.
+TEST(RuntimeQueue, UnsupportedSignatureFailsCleanlyAndRepeatedly) {
+  auto opt = queue_options();
+  opt.max_batch_delay = 10s;
+  Runtime rt(opt);
+  // 256x256 LU exceeds even the spilled 64-thread register budget, and
+  // problems past one block support only QR/least-squares: no kernel admits
+  // it.
+  EXPECT_THROW(rt.submit(Op::lu, marked_batch(1, 256, 256)), regla::Error);
+  EXPECT_THROW(rt.submit(Op::lu, marked_batch(1, 256, 256)), regla::Error);
+  auto ok = rt.submit(Op::qr, marked_batch(2, 8, 1.0f));  // runtime still live
+  rt.flush();
+  EXPECT_FLOAT_EQ(ok.get().a.at(0, 0, 0), 2.0f);
+  rt.shutdown();
+  EXPECT_EQ(rt.stats().requests, 1u);  // the rejected submissions never count
+}
+
 // The autotune knob is incompatible with the shared planner and must be
 // rejected at construction, not discovered as a race later.
 TEST(RuntimeQueue, RejectsAutotune) {
@@ -369,6 +389,45 @@ TEST(TimerWheel, CancelledTimersNeverFire) {
   auto fired = wheel.advance(t0 + 1ms);
   ASSERT_EQ(fired.size(), 1u);
   EXPECT_EQ(fired[0], 2u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+// Advancing over a long idle stretch is one bounded pass over the slot
+// array, not a walk of every elapsed tick — and deadlines armed across the
+// gap still fire exactly on time, early advances included.
+TEST(TimerWheel, IdleGapAdvanceKeepsDeadlines) {
+  using runtime::TimerWheel;
+  const auto t0 = TimerWheel::Clock::time_point{};
+  TimerWheel wheel(t0, 100us, 16);
+  EXPECT_TRUE(wheel.advance(t0 + 1ms).empty());  // idle, nothing armed
+  wheel.arm(1, t0 + 60s);  // ~600k ticks past the cursor
+  wheel.arm(2, t0 + 2ms);  // much earlier — must not be delayed by #1
+  auto fired = wheel.advance(t0 + 5ms);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 2u);
+  EXPECT_EQ(wheel.next_deadline(), t0 + 60s);
+  fired = wheel.advance(t0 + 60s);  // spans minutes in one call
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+// Cancelling the last live timer purges the lazily-cancelled leftovers, so
+// an idle wheel carries no stale state into the next arm/advance cycle.
+TEST(TimerWheel, PurgeAfterLastCancelKeepsWheelConsistent) {
+  using runtime::TimerWheel;
+  const auto t0 = TimerWheel::Clock::time_point{};
+  TimerWheel wheel(t0, 100us, 16);
+  wheel.arm(1, t0 + 200us);
+  wheel.arm(2, t0 + 47s);
+  wheel.cancel(1);
+  wheel.cancel(2);
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_TRUE(wheel.advance(t0 + 1ms).empty());
+  wheel.arm(3, t0 + 50s);
+  auto fired = wheel.advance(t0 + 50s);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 3u);
   EXPECT_TRUE(wheel.empty());
 }
 
