@@ -15,14 +15,23 @@
 //    4-problem launch still occupies the chip for a full wave, and the
 //    acceptance bar is that coalescing beats the baseline on it at the
 //    highest swept rate for every shape.
+//
+// `--trace out.json` records the whole sweep into the obs trace ring and
+// writes one coherent chrome://tracing / Perfetto timeline: runtime
+// submit/queue-wait/flush spans, planner plan spans, worker execute spans,
+// and per-phase launch slices. `--stats` prints the obs metric exposition.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 #include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/generators.h"
+#include "obs/obs.h"
 #include "runtime/runtime.h"
 
 using namespace std::chrono_literals;
@@ -91,7 +100,21 @@ RunResult run(int n, double rate_rps, bool coalesce, int requests) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  bool print_stats = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace out.json] [--stats]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) regla::obs::trace_start({1 << 16});
+
   // Fig. 10 shapes spanning the kernel families — per-thread (8), per-block
   // (32), upper per-block (48) — each swept at rates scaled to how fast the
   // host can simulate that shape (the top rate oversubscribes the baseline).
@@ -136,5 +159,14 @@ int main() {
   std::printf("high-rate shapes where coalescing lost on device throughput: "
               "%d\n",
               high_rate_losses);
+  if (!trace_path.empty()) {
+    regla::obs::trace_stop();
+    regla::obs::write_trace_json(trace_path);
+    std::printf("trace: %zu events -> %s (%llu dropped to the ring bound; "
+                "open in chrome://tracing or ui.perfetto.dev)\n",
+                regla::obs::trace_event_count(), trace_path.c_str(),
+                static_cast<unsigned long long>(regla::obs::trace_dropped()));
+  }
+  if (print_stats) regla::obs::dump(std::cout);
   return high_rate_losses == 0 ? 0 : 1;
 }

@@ -14,11 +14,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <iostream>
 #include <random>
 #include <thread>
 #include <vector>
 
 #include "common/generators.h"
+#include "obs/obs.h"
 #include "runtime/runtime.h"
 
 int main() {
@@ -84,5 +86,10 @@ int main() {
   std::printf("latency:          p50 %.2f ms, p99 %.2f ms\n", st.p50_ms(),
               st.p99_ms());
   std::printf("simulated device: %.2f ms busy\n", st.device_seconds * 1e3);
+
+  // The same health numbers through the obs registry — every layer
+  // (runtime.*, planner.*, engine.*) in one exposition.
+  std::printf("\n--- obs::dump ---\n");
+  regla::obs::dump(std::cout);
   return failures == 0 ? 0 : 1;
 }

@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure with the planner subsystem held to
 # -Wall -Wextra -Werror, build everything, run the full test suite.
+#
+# Before merging concurrency- or memory-touching work, also run the tier-2
+# sanitizer gates:
+#   scripts/tier2_tsan.sh   ThreadSanitizer over the threaded suites
+#   scripts/tier2_asan.sh   ASan+UBSan over the full suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -2,8 +2,11 @@
 # Tier-2 race gate: build the concurrency-bearing subsystems under
 # ThreadSanitizer and run the tests that exercise threads — the thread pool,
 # the shared plan cache / planner, the serving runtime's queueing machinery,
-# and the fiber scheduler (built on ucontext in this preset so TSan can see
-# the context switches; the hand-rolled asm switch is invisible to it).
+# the obs telemetry layer (metric registry + trace ring hammered from many
+# threads, and the end-to-end runtime timeline that records from dispatcher
+# and worker threads), and the fiber scheduler (built on ucontext in this
+# preset so TSan can see the context switches; the hand-rolled asm switch is
+# invisible to it). The ASan+UBSan sibling is scripts/tier2_asan.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,8 +18,11 @@ cmake --build --preset tsan -j "$(nproc)" --target regla_tests
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 
 # RuntimeQueue.* drive the runtime through the solve_override hook (pure
-# queueing, no kernels); RuntimeSolve.* add real fiber-backed launches.
+# queueing, no kernels); RuntimeSolve.* add real fiber-backed launches;
+# Obs* cover the metric registry, the trace ring, and the cross-layer
+# timeline (ObsRuntimeTrace exercises the trace buffer from the dispatcher
+# and every worker thread at once).
 ./build-tsan/tests/regla_tests \
-  --gtest_filter='ThreadPool*:PlanCache*:RuntimeQueue*:RuntimeSolve*:TimerWheel*:Fiber*'
+  --gtest_filter='ThreadPool*:PlanCache*:RuntimeQueue*:RuntimeSolve*:TimerWheel*:Fiber*:Obs*'
 
 echo "tier2 tsan: clean"

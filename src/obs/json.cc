@@ -1,0 +1,37 @@
+#include "obs/json.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace regla::obs {
+
+void json_escape_to(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::ostringstream os;
+  json_escape_to(os, s);
+  return os.str();
+}
+
+}  // namespace regla::obs

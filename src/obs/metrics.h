@@ -1,0 +1,124 @@
+// Typed, labeled, process-wide metric instruments.
+//
+// The untyped simt::stat_* gauge map grew three distinct usage patterns —
+// monotonic event counts, last-value gauges, and distribution summaries
+// (p50/p99 exported as separate gauges) — with nothing in the registry
+// saying which was which. This header gives each pattern its own instrument:
+//
+//   obs::counter("engine.addr_truncations").add();
+//   obs::gauge("planner.model_error_mean").set(e);
+//   obs::histogram("runtime.latency_us").record(us);
+//
+// Instruments are created on first lookup and live for the process lifetime
+// (references returned by counter()/gauge()/histogram() never dangle —
+// reset_all() zeroes values but never removes instruments). Lookup takes a
+// registry mutex; updates on an obtained reference are lock-free atomics, so
+// hot paths should cache the reference. An optional label string
+// ("op=qr,n=32") distinguishes instruments sharing a name.
+//
+// The legacy simt::stat_set/stat_add/stat_get API remains as a shim over the
+// gauges here (see simt/stats.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace regla::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value instrument (plan-cache hit rate, model error, quantiles).
+class Gauge {
+ public:
+  void set(double v) {
+    v_.store(v, std::memory_order_relaxed);
+    set_.store(true, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+    set_.store(true, std::memory_order_relaxed);
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  /// Whether the gauge has been written since creation / reset_all(). The
+  /// stat_* shim's snapshot lists only written gauges, matching the old
+  /// map-of-written-names behavior.
+  bool is_set() const { return set_.load(std::memory_order_relaxed); }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    set_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0};
+  std::atomic<bool> set_{false};
+};
+
+/// Fixed-bucket log-spaced distribution: bucket i covers values up to
+/// 2^(i/2) (sqrt(2)-spaced, ~±19% quantile resolution), bucket 0 is
+/// everything <= 1. Unit-agnostic — callers pick one (microseconds,
+/// problems) and say so in the instrument name.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double v);
+  std::uint64_t count() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Upper bound of the bucket holding quantile q (q clamped to [0, 1]);
+  /// 0 when the histogram is empty.
+  double percentile(double q) const;
+  void reset();
+
+  static int bucket_of(double v);
+  static double bucket_upper(int i);
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<double> sum_{0};
+};
+
+/// Registry lookup: get-or-create the named instrument. The same
+/// (name, labels) pair always returns the same object; a name used with one
+/// type must not be reused with another (REGLA_CHECKs).
+Counter& counter(std::string_view name, std::string_view labels = {});
+Gauge& gauge(std::string_view name, std::string_view labels = {});
+Histogram& histogram(std::string_view name, std::string_view labels = {});
+
+/// Lookup without creating: the gauge's value, or 0 if absent/unwritten
+/// (the stat_get shim semantics).
+double gauge_value(std::string_view name, std::string_view labels = {});
+
+/// Every written gauge as (key, value) — the stat_* shim's snapshot.
+std::map<std::string, double> gauges_snapshot();
+
+/// Zero every instrument's value (instruments themselves stay registered, so
+/// cached references remain valid). Tests and the stats_clear shim.
+void reset_all();
+
+/// Human-readable exposition: one line per instrument, histograms with
+/// count/mean/p50/p99. Sorted by key.
+void dump(std::ostream& os);
+
+/// Machine-readable exposition: `type,key,field,value` CSV rows.
+void dump_csv(std::ostream& os);
+
+}  // namespace regla::obs

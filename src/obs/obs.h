@@ -1,0 +1,9 @@
+// regla::obs — the cross-layer observability subsystem: typed metric
+// instruments (Counter / Gauge / Histogram), the process-wide trace ring
+// with scoped Spans, the chrome://tracing / Perfetto exporter, and the JSON
+// escaping every writer shares. See DESIGN.md §9 for the span taxonomy.
+#pragma once
+
+#include "obs/json.h"     // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export

@@ -1,0 +1,219 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace regla::obs {
+
+namespace {
+
+struct TraceEvent {
+  char name[kTraceNameCap + 1];
+  char cat[kTraceCatCap + 1];
+  double ts_us = 0;
+  double dur_us = 0;
+  std::uint32_t track = 0;
+};
+
+/// The ring and everything attached to it. Events are written under `mu`;
+/// `active` is checked lock-free so disabled tracing costs one relaxed load.
+struct TraceState {
+  std::atomic<bool> active{false};
+  std::mutex mu;
+  std::vector<TraceEvent> ring;           // fixed capacity once started
+  std::size_t head = 0;                   // next write slot
+  std::size_t size = 0;                   // events held (<= capacity)
+  std::uint64_t dropped = 0;              // overwritten events
+  std::chrono::steady_clock::time_point epoch{};
+  std::uint32_t next_track = 1;           // thread tracks count up from 1
+  std::uint32_t next_virtual_track = 1u << 20;  // named tracks live far above
+  std::map<std::string, std::uint32_t> virtual_tracks;
+};
+
+TraceState& state() {
+  // Leaked: spans may close during static destruction.
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+void copy_trunc(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  for (; i < cap && src[i] != '\0'; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+void push_event(const char* name, const char* cat, double ts_us, double dur_us,
+                std::uint32_t track) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active.load(std::memory_order_relaxed) || s.ring.empty()) return;
+  TraceEvent& e = s.ring[s.head];
+  copy_trunc(e.name, kTraceNameCap, name);
+  copy_trunc(e.cat, kTraceCatCap, cat);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.track = track;
+  s.head = (s.head + 1) % s.ring.size();
+  if (s.size < s.ring.size()) {
+    ++s.size;
+  } else {
+    ++s.dropped;  // overwrote the oldest event
+  }
+}
+
+}  // namespace
+
+void trace_start(TraceOptions opt) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.ring.assign(std::max<std::size_t>(1, opt.capacity), TraceEvent{});
+  s.head = 0;
+  s.size = 0;
+  s.dropped = 0;
+  s.epoch = std::chrono::steady_clock::now();
+  s.active.store(true, std::memory_order_release);
+}
+
+void trace_stop() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.active.store(false, std::memory_order_release);
+}
+
+bool trace_active() {
+  return state().active.load(std::memory_order_acquire);
+}
+
+std::size_t trace_event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.size;
+}
+
+std::uint64_t trace_dropped() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.dropped;
+}
+
+double trace_time_us(std::chrono::steady_clock::time_point tp) {
+  TraceState& s = state();
+  std::chrono::steady_clock::time_point epoch;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    epoch = s.epoch;
+  }
+  return std::chrono::duration<double, std::micro>(tp - epoch).count();
+}
+
+double trace_now_us() {
+  return trace_time_us(std::chrono::steady_clock::now());
+}
+
+std::uint32_t current_track() {
+  thread_local std::uint32_t track = [] {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.next_track++;
+  }();
+  return track;
+}
+
+std::uint32_t named_track(const std::string& name) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.virtual_tracks.find(name);
+  if (it != s.virtual_tracks.end()) return it->second;
+  const std::uint32_t id = s.next_virtual_track++;
+  s.virtual_tracks.emplace(name, id);
+  return id;
+}
+
+Span::Span(const char* name, const char* category) {
+  if (!trace_active()) return;
+  copy_trunc(name_, kTraceNameCap, name);
+  copy_trunc(cat_, kTraceCatCap, category);
+  t0_us_ = trace_now_us();
+  open_ = true;
+}
+
+void Span::end() {
+  if (!open_) return;
+  open_ = false;
+  const double t1 = trace_now_us();
+  push_event(name_, cat_, t0_us_, t1 - t0_us_, current_track());
+}
+
+void trace_complete(const char* name, const char* category, double ts_us,
+                    double dur_us, std::uint32_t track) {
+  if (!trace_active()) return;
+  push_event(name, category, ts_us, dur_us, track);
+}
+
+void trace_instant(const char* name, const char* category) {
+  if (!trace_active()) return;
+  push_event(name, category, trace_now_us(), 0, current_track());
+}
+
+void write_trace_json(std::ostream& os) {
+  TraceState& s = state();
+  std::vector<TraceEvent> events;
+  std::map<std::string, std::uint32_t> vtracks;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    events.reserve(s.size);
+    const std::size_t cap = s.ring.size();
+    // Oldest-first: the ring's tail sits at head when full.
+    const std::size_t start = s.size == cap ? s.head : 0;
+    for (std::size_t i = 0; i < s.size; ++i)
+      events.push_back(s.ring[(start + i) % cap]);
+    vtracks = s.virtual_tracks;
+    dropped = s.dropped;
+  }
+
+  // Full double precision: 6-significant-digit timestamps would quantize to
+  // whole microseconds a few seconds in, breaking slice nesting.
+  const auto old_precision = os.precision(15);
+  os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":"
+     << dropped << "},\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const auto& [name, id] : vtracks) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << id
+       << ",\"args\":{\"name\":\"";
+    json_escape_to(os, name);
+    os << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    sep();
+    os << "{\"name\":\"";
+    json_escape_to(os, e.name);
+    os << "\",\"cat\":\"";
+    json_escape_to(os, e.cat[0] != '\0' ? e.cat : "default");
+    os << "\",\"ph\":\"X\",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+       << ",\"pid\":1,\"tid\":" << e.track << "}";
+  }
+  os << "]}";
+  os.precision(old_precision);
+}
+
+void write_trace_json(const std::string& path) {
+  std::ofstream f(path);
+  REGLA_CHECK_MSG(f.good(), "cannot open trace file " << path);
+  write_trace_json(f);
+}
+
+}  // namespace regla::obs

@@ -1,0 +1,92 @@
+// Process-wide trace ring buffer with scoped spans.
+//
+// One coherent timeline across the whole stack: callers open an obs::Span on
+// whatever thread they run ("runtime.flush", "planner.plan",
+// "engine.launch"), the span records wall time on a per-thread track, and
+// everything lands in one bounded in-memory ring exported as chrome://tracing
+// / Perfetto JSON (write_trace_json). Chrome nests same-track complete
+// events by time containment, so a Span opened inside another Span on the
+// same thread renders as its child with no extra bookkeeping.
+//
+//   obs::trace_start();
+//   { obs::Span s("runtime.flush", "runtime"); ... }   // nested work traces
+//   obs::write_trace_json("out.json");
+//
+// Memory is bounded: the ring holds `capacity` fixed-size events; once full,
+// new events overwrite the oldest and the drop counter advances — no silent
+// caps, trace_dropped() says exactly how much history was lost. Recording is
+// a no-op while tracing is inactive (one relaxed atomic load), so
+// instrumented hot paths cost nothing in normal operation. All entry points
+// are thread-safe.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace regla::obs {
+
+struct TraceOptions {
+  /// Events retained; the ring keeps the newest `capacity` once it wraps.
+  std::size_t capacity = 1 << 16;
+};
+
+/// Reset the ring (events and drop counter) and start recording.
+void trace_start(TraceOptions opt = {});
+/// Stop recording; already-captured events remain exportable.
+void trace_stop();
+bool trace_active();
+/// Events currently held in the ring.
+std::size_t trace_event_count();
+/// Events lost to ring overflow since trace_start.
+std::uint64_t trace_dropped();
+
+/// Name/category bytes stored per event (longer strings are truncated).
+inline constexpr std::size_t kTraceNameCap = 47;
+inline constexpr std::size_t kTraceCatCap = 15;
+
+/// Microseconds since the trace epoch (trace_start), from the steady clock.
+double trace_now_us();
+/// A steady_clock time point on the same scale (for pre-recorded intervals
+/// like queue waits, whose start predates the emitting call).
+double trace_time_us(std::chrono::steady_clock::time_point tp);
+
+/// The calling thread's track id (stable per thread, assigned on first use).
+std::uint32_t current_track();
+/// A named virtual track for events that belong to no particular thread
+/// (e.g. per-request queue waits). Same name, same id; the exporter labels
+/// it in the timeline.
+std::uint32_t named_track(const std::string& name);
+
+/// RAII slice on the calling thread's track: construction starts the clock,
+/// end()/destruction records a complete event. No-op while inactive.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "");
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  /// Close the span early (idempotent).
+  void end();
+
+ private:
+  char name_[kTraceNameCap + 1];
+  char cat_[kTraceCatCap + 1];
+  double t0_us_ = 0;
+  bool open_ = false;
+};
+
+/// A complete slice with explicit timing (for intervals measured elsewhere:
+/// queue waits, simulated per-phase device slices).
+void trace_complete(const char* name, const char* category, double ts_us,
+                    double dur_us, std::uint32_t track);
+/// Zero-duration marker on the calling thread's track.
+void trace_instant(const char* name, const char* category = "");
+
+/// Export everything in the ring as chrome://tracing / Perfetto JSON ("X"
+/// complete events plus thread-name metadata; displayTimeUnit ns, ts in us).
+void write_trace_json(std::ostream& os);
+void write_trace_json(const std::string& path);
+
+}  // namespace regla::obs

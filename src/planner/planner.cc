@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "model/model.h"
+#include "obs/trace.h"
 #include "simt/occupancy.h"
 #include "simt/reg_tile.h"
 #include "simt/stats.h"
@@ -339,6 +340,7 @@ Plan Planner::build_plan(const regla::simt::DeviceConfig& cfg,
     measure = measure_;
   }
   if (opt_.autotune && measure) {
+    obs::Span span("planner.autotune", "planner");
     ProblemDesc sample = desc;
     sample.batch = std::min(desc.batch, opt_.autotune_sample_batch);
     const int k =
@@ -388,6 +390,7 @@ Plan Planner::plan(const regla::simt::DeviceConfig& cfg,
   // threads racing on the same fresh signature both build; plans are
   // deterministic functions of (cfg, desc), so whichever insert lands last
   // overwrites with an identical value.
+  obs::Span span("planner.plan", "planner");
   Plan built = build_plan(cfg, desc);
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/generators.h"
+#include "obs/trace.h"
 
 namespace regla {
 
@@ -94,6 +95,7 @@ void Solver::stamp_planner_stats(SolveReport& report) const {
 
 SolveReport Solver::qr(BatchF& batch, BatchF* taus,
                        const core::SolveOptions& opts) {
+  obs::Span span("solver.qr", "solver");
   const int m = batch.rows(), n = batch.cols();
   const auto plan =
       plan_for(planner::Op::qr, m, n, batch.count(), planner::Dtype::f32);
@@ -121,6 +123,7 @@ SolveReport Solver::qr(BatchF& batch, BatchF* taus,
 
 SolveReport Solver::qr(BatchC& batch, BatchC* taus,
                        const core::SolveOptions& opts) {
+  obs::Span span("solver.qr_c64", "solver");
   const int m = batch.rows(), n = batch.cols();
   const auto plan =
       plan_for(planner::Op::qr, m, n, batch.count(), planner::Dtype::c64);
@@ -140,6 +143,7 @@ SolveReport Solver::qr(BatchC& batch, BatchC* taus,
 }
 
 SolveReport Solver::lu(BatchF& batch, const core::SolveOptions& opts) {
+  obs::Span span("solver.lu", "solver");
   const int n = batch.cols();
   REGLA_CHECK(batch.rows() == n);
   const auto plan =
@@ -156,6 +160,7 @@ SolveReport Solver::lu(BatchF& batch, const core::SolveOptions& opts) {
 
 SolveReport Solver::solve(BatchF& a, BatchF& b,
                           const core::SolveOptions& opts) {
+  obs::Span span("solver.solve", "solver");
   const int n = a.cols();
   const auto op = opts.method == core::SolveMethod::gauss_jordan
                       ? planner::Op::solve_gj
@@ -178,6 +183,7 @@ SolveReport Solver::solve(BatchF& a, BatchF& b,
 
 SolveReport Solver::least_squares(BatchF& a, BatchF& b,
                                   const core::SolveOptions& opts) {
+  obs::Span span("solver.least_squares", "solver");
   const auto plan = plan_for(planner::Op::least_squares, a.rows(), a.cols(),
                              a.count(), planner::Dtype::f32);
   FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);

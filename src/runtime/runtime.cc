@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simt/stats.h"
 
 namespace regla::runtime {
@@ -191,6 +193,9 @@ std::optional<std::future<Report>> Runtime::try_submit(
 
 std::future<Report> Runtime::enqueue(const Signature& sig, Payload payload,
                                      bool blocking, bool* rejected) {
+  // Covers queue admission including any backpressure block (the time a
+  // submitter spends waiting for space shows on its own thread's track).
+  obs::Span span("runtime.submit", "runtime");
   const int k = payload.problems();
   // A request bigger than the whole queue bound could never be admitted —
   // reject it now instead of blocking forever on space that cannot appear.
@@ -391,6 +396,16 @@ SolveReport Runtime::solve_one(Stream& s, const Signature& sig, Payload& p) {
 void Runtime::fulfill(Pending& req, const SolveReport& batch_report,
                       const Batch& batch, int offset,
                       Clock::time_point started) {
+  if (obs::trace_active()) {
+    // The request's life between submit and flush start, on a shared
+    // virtual track (a queue wait belongs to no thread).
+    static const std::uint32_t queue_track = obs::named_track("runtime.queue");
+    obs::trace_complete(
+        "runtime.queue-wait", "runtime", obs::trace_time_us(req.enqueued),
+        std::chrono::duration<double, std::micro>(started - req.enqueued)
+            .count(),
+        queue_track);
+  }
   const int k = req.payload.problems();
   Report r;
   static_cast<SolveReport&>(r) = batch_report;
@@ -412,11 +427,16 @@ void Runtime::fulfill(Pending& req, const SolveReport& batch_report,
 }
 
 void Runtime::execute(Batch& batch) {
+  // The whole batch flush on this worker: stream acquisition, coalesced
+  // assembly, the solver call chain (planner / engine spans nest inside),
+  // and the scatter back to futures.
+  obs::Span flush_span("runtime.flush", "runtime");
   // Acquire a worker stream (there are exactly `workers` of them, matching
   // the pool's helper threads, so this only blocks if outside work shares
   // the pool).
   Stream* stream = nullptr;
   {
+    obs::Span wait_span("runtime.stream-wait", "runtime");
     std::unique_lock<std::mutex> lock(stream_mu_);
     cv_stream_.wait(lock, [&] { return !free_streams_.empty(); });
     stream = free_streams_.back();
@@ -437,6 +457,8 @@ void Runtime::execute(Batch& batch) {
   } stream_guard{this, stream};
   const Clock::time_point started = Clock::now();
 
+  // The device-facing part alone (stream held, solver running).
+  obs::Span exec_span("runtime.execute", "runtime");
   bool poisoned = false;
   double device_seconds = 0;
   try {
@@ -583,6 +605,7 @@ void Runtime::shutdown() {
 // --- Stats -----------------------------------------------------------------
 
 void Runtime::record_batch_stats(const Batch& batch, double device_seconds) {
+  obs::histogram("runtime.batch_problems").record(batch.problems);
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.batches;
   stats_.coalesced_problems += static_cast<std::uint64_t>(batch.problems);
@@ -596,6 +619,7 @@ void Runtime::record_latency(Clock::time_point enqueued) {
   const double us =
       std::chrono::duration<double, std::micro>(Clock::now() - enqueued)
           .count();
+  obs::histogram("runtime.latency_us").record(us);
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.latency_hist[latency_bucket(us)];
 }

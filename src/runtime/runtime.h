@@ -29,7 +29,11 @@
 // Health: Runtime::stats() snapshots throughput counters, a coalesced
 // batch-size histogram, flush-reason counts, queue-full rejections and
 // latency quantiles; the same numbers are exported through the named-stats
-// registry (simt::stats) under "runtime.*".
+// registry (simt::stats, now a shim over obs gauges) under "runtime.*", plus
+// obs histograms "runtime.latency_us" / "runtime.batch_problems". With
+// obs::trace_start() active, every submission and flush also lands on the
+// process trace timeline (runtime.submit / runtime.queue-wait /
+// runtime.flush / runtime.execute spans — see DESIGN.md §9).
 #pragma once
 
 #include <chrono>

@@ -2,13 +2,29 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <thread>
 
 #include "common/error.h"
+#include "cpu/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simt/fiber.h"
 #include "simt/timing.h"
+#include "simt/trace.h"
 
 namespace regla::simt {
+
+// Out of line: ThreadPool is only forward-declared in the header.
+Device::Device(DeviceConfig cfg) : cfg_(cfg) {}
+Device::~Device() = default;
+Device::Device(Device&&) noexcept = default;
+Device& Device::operator=(Device&&) noexcept = default;
+
+void Device::set_host_workers(int workers) {
+  if (workers != host_workers_) pool_.reset();
+  host_workers_ = workers;
+}
 
 namespace {
 
@@ -57,6 +73,35 @@ BlockRun run_block(const DeviceConfig& cfg, const LaunchSpec& spec,
   return out;
 }
 
+/// Project the launch's per-phase cycle breakdown into the wall-clock window
+/// of its engine.launch span: slices in execution order, each sized by its
+/// share of the breakdown cycles, on the current thread's track so they nest
+/// under the launch span in the exported timeline.
+void emit_phase_slices(const LaunchSpec& spec, const LaunchResult& res,
+                       double span_t0) {
+  double total = 0;
+  for (const TaggedCycles& s : res.breakdown) total += std::max(0.0, s.cycles);
+  if (total <= 0) return;
+  std::vector<TaggedCycles> slices = res.breakdown;
+  std::stable_sort(slices.begin(), slices.end(), slice_before);
+  const double window = obs::trace_now_us() - span_t0;
+  double cursor = span_t0;
+  for (const TaggedCycles& s : slices) {
+    if (s.cycles <= 0) continue;
+    const double dur = window * s.cycles / total;
+    char name[64];
+    if (s.panel >= 0)
+      std::snprintf(name, sizeof(name), "phase:%s p%d:%s", to_string(s.tag),
+                    s.panel, spec.name.c_str());
+    else
+      std::snprintf(name, sizeof(name), "phase:%s:%s", to_string(s.tag),
+                    spec.name.c_str());
+    obs::trace_complete(name, "engine.phase", cursor, dur,
+                        obs::current_track());
+    cursor += dur;
+  }
+}
+
 }  // namespace
 
 LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
@@ -64,25 +109,30 @@ LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
   REGLA_CHECK_MSG(spec.threads >= 1 && spec.threads <= cfg_.max_threads_per_block,
                   "threads per block: " << spec.threads);
 
+  obs::Span launch_span("engine.launch", "engine");
+  const double span_t0 = obs::trace_now_us();
+
   std::vector<BlockRun> runs(spec.blocks);
 
-  int workers = host_workers_ > 0
-                    ? host_workers_
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  workers = std::clamp(workers, 1, spec.blocks);
+  const int configured = host_workers_ > 0
+                             ? host_workers_
+                             : static_cast<int>(std::thread::hardware_concurrency());
+  const int workers = std::clamp(configured, 1, spec.blocks);
 
   if (workers == 1) {
     for (int b = 0; b < spec.blocks; ++b) runs[b] = run_block(cfg_, spec, body, b);
   } else {
+    // Persistent pool, sized to the configured (unclamped) width so launches
+    // of different block counts share one set of threads instead of
+    // respawning per launch. parallel_for over `workers` slots, each slot
+    // draining the shared block counter, preserves the old dynamic
+    // scheduling exactly (blocks have skewed runtimes).
+    if (!pool_) pool_ = std::make_unique<cpu::ThreadPool>(std::max(1, configured));
     std::atomic<int> next{0};
-    auto work = [&] {
+    pool_->parallel_for(workers, [&](int) {
       for (int b = next.fetch_add(1); b < spec.blocks; b = next.fetch_add(1))
         runs[b] = run_block(cfg_, spec, body, b);
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
-    for (auto& th : pool) th.join();
+    });
   }
 
   // Occupancy from the declared register demand and the *measured* shared
@@ -119,11 +169,14 @@ LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
       res.totals.spill_bytes += p.spill_bytes;
       dram_bytes += p.gl_bytes;
       res.totals.sh_accesses += static_cast<std::uint64_t>(p.sh_transactions);
+      if (p.addrs_truncated) ++res.totals.addr_truncations;
     }
     res.totals.syncs += r.syncs;
     block_times.push_back(t);
   }
   res.totals.gl_bytes = dram_bytes;
+  if (res.totals.addr_truncations > 0)
+    obs::counter("engine.addr_truncations").add(res.totals.addr_truncations);
 
   res.chip_cycles = chip_cycles(cfg_, block_times, k_resident, dram_bytes);
   res.seconds = res.chip_cycles / (cfg_.clock_ghz * 1e9);
@@ -135,6 +188,8 @@ LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
   for (const auto& [key, cycles] : tagged)
     res.breakdown.push_back(TaggedCycles{key.first, static_cast<OpTag>(key.second),
                                          cycles / spec.blocks});
+
+  if (obs::trace_active()) emit_phase_slices(spec, res, span_t0);
   return res;
 }
 

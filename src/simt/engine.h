@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,10 @@
 #include "simt/device_config.h"
 #include "simt/occupancy.h"
 #include "simt/stats.h"
+
+namespace regla::cpu {
+class ThreadPool;
+}
 
 namespace regla::simt {
 
@@ -65,8 +70,10 @@ struct LaunchResult {
 /// independent blocks within a launch may run on multiple host threads.
 class Device {
  public:
-  explicit Device(DeviceConfig cfg = DeviceConfig::quadro6000())
-      : cfg_(cfg) {}
+  explicit Device(DeviceConfig cfg = DeviceConfig::quadro6000());
+  ~Device();
+  Device(Device&&) noexcept;
+  Device& operator=(Device&&) noexcept;
 
   const DeviceConfig& config() const { return cfg_; }
   DeviceConfig& mutable_config() { return cfg_; }
@@ -77,12 +84,20 @@ class Device {
   LaunchResult launch(const LaunchSpec& spec, const KernelFn& body);
 
   /// Number of host worker threads used to run independent blocks
-  /// (defaults to std::thread::hardware_concurrency()).
-  void set_host_workers(int workers) { host_workers_ = workers; }
+  /// (defaults to std::thread::hardware_concurrency()). Changing the count
+  /// retires the device's persistent worker pool; the next launch rebuilds
+  /// it at the new width.
+  void set_host_workers(int workers);
 
  private:
   DeviceConfig cfg_;
   int host_workers_ = 0;  // 0 = auto
+  /// Persistent host workers for multi-block launches, built lazily on the
+  /// first launch that needs them and reused across launches — spawning
+  /// fresh std::threads per launch sat directly on the serving hot path.
+  /// Safe to reuse under the pool's parallel_for serialization constraint
+  /// because a Device runs one launch at a time (class contract above).
+  std::unique_ptr<cpu::ThreadPool> pool_;
 };
 
 }  // namespace regla::simt

@@ -8,6 +8,10 @@
 
 #include "common/error.h"
 
+#ifdef REGLA_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 #ifndef REGLA_UCONTEXT_FIBERS
 extern "C" {
 void regla_fiber_switch(void** save_sp, void* restore_sp);
@@ -83,6 +87,12 @@ void Fiber::entry_split(unsigned hi, unsigned lo) {
 #endif
 
 void Fiber::entry(Fiber* self) {
+#ifdef REGLA_ASAN_FIBERS
+  // First time on this stack: complete the switch the resumer started and
+  // capture the resumer's stack bounds for switching back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_return_bottom_,
+                                  &self->asan_return_size_);
+#endif
   try {
     self->body_();
   } catch (...) {
@@ -90,6 +100,11 @@ void Fiber::entry(Fiber* self) {
   }
   self->done_ = true;
   // Final switch back to the resumer; never returns here.
+#ifdef REGLA_ASAN_FIBERS
+  // nullptr fake-stack save: this fiber is terminating, destroy its state.
+  __sanitizer_start_switch_fiber(nullptr, self->asan_return_bottom_,
+                                 self->asan_return_size_);
+#endif
 #ifdef REGLA_UCONTEXT_FIBERS
   swapcontext(&self->ctx_, &self->return_ctx_);
 #else
@@ -103,10 +118,19 @@ bool Fiber::resume() {
   REGLA_CHECK_MSG(t_current_fiber == nullptr, "nested fiber resume");
   t_current_fiber = this;
   running_ = true;
+#ifdef REGLA_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(
+      &asan_resumer_fake_stack_,
+      static_cast<const std::uint8_t*>(stack_base_) + page_size(),
+      map_bytes_ - page_size());
+#endif
 #ifdef REGLA_UCONTEXT_FIBERS
   swapcontext(&return_ctx_, &ctx_);
 #else
   regla_fiber_switch(&return_sp_, fiber_sp_);
+#endif
+#ifdef REGLA_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(asan_resumer_fake_stack_, nullptr, nullptr);
 #endif
   running_ = false;
   t_current_fiber = nullptr;
@@ -121,10 +145,22 @@ bool Fiber::resume() {
 void Fiber::yield() {
   Fiber* self = t_current_fiber;
   REGLA_CHECK_MSG(self != nullptr, "Fiber::yield() outside a fiber");
+#ifdef REGLA_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&self->asan_fiber_fake_stack_,
+                                 self->asan_return_bottom_,
+                                 self->asan_return_size_);
+#endif
 #ifdef REGLA_UCONTEXT_FIBERS
   swapcontext(&self->ctx_, &self->return_ctx_);
 #else
   regla_fiber_switch(&self->fiber_sp_, self->return_sp_);
+#endif
+#ifdef REGLA_ASAN_FIBERS
+  // Back on the fiber; the resumer's stack may differ from last time
+  // (blocks can migrate between pool threads), so re-capture its bounds.
+  __sanitizer_finish_switch_fiber(self->asan_fiber_fake_stack_,
+                                  &self->asan_return_bottom_,
+                                  &self->asan_return_size_);
 #endif
 }
 

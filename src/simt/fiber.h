@@ -17,6 +17,18 @@
 #include <ucontext.h>
 #endif
 
+// Under AddressSanitizer every stack switch must be announced with the
+// __sanitizer_*_switch_fiber hooks, or ASan attributes fiber frames to the
+// host thread's stack and reports false stack-buffer-overflows the first
+// time an exception unwinds on a fiber (scripts/tier2_asan.sh).
+#if defined(__SANITIZE_ADDRESS__)
+#define REGLA_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define REGLA_ASAN_FIBERS 1
+#endif
+#endif
+
 namespace regla::simt {
 
 /// A single cooperative fiber. Not thread-safe: a fiber is owned and resumed
@@ -65,6 +77,16 @@ class Fiber {
 #else
   void* fiber_sp_ = nullptr;     // saved stack pointer of the fiber
   void* return_sp_ = nullptr;    // saved stack pointer of the resumer
+#endif
+
+#ifdef REGLA_ASAN_FIBERS
+  // ASan bookkeeping across switches: the fiber's own fake-stack handle
+  // while suspended, the resumer's handle while the fiber runs, and the
+  // resumer's stack bounds (captured on entry/resume) for switching back.
+  void* asan_fiber_fake_stack_ = nullptr;
+  void* asan_resumer_fake_stack_ = nullptr;
+  const void* asan_return_bottom_ = nullptr;
+  std::size_t asan_return_size_ = 0;
 #endif
 };
 

@@ -1,47 +1,29 @@
 #include "simt/stats.h"
 
-#include <mutex>
-
+#include "obs/metrics.h"
 #include "simt/gfloat.h"
 
 namespace regla::simt {
 
-namespace {
-std::mutex& registry_mutex() {
-  static std::mutex m;
-  return m;
-}
-std::map<std::string, double>& registry() {
-  static std::map<std::string, double> r;
-  return r;
-}
-}  // namespace
+// The named-stat registry is now a compatibility shim over the typed obs
+// instruments (obs/metrics.h): every stat_* name is an obs::Gauge in the
+// shared registry, so legacy exporters and new telemetry read one store.
 
 void stat_set(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  registry()[name] = value;
+  obs::gauge(name).set(value);
 }
 
 void stat_add(const std::string& name, double delta) {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  registry()[name] += delta;
+  obs::gauge(name).add(delta);
 }
 
-double stat_get(const std::string& name) {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  const auto it = registry().find(name);
-  return it == registry().end() ? 0.0 : it->second;
-}
+double stat_get(const std::string& name) { return obs::gauge_value(name); }
 
 std::map<std::string, double> stats_snapshot() {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  return registry();
+  return obs::gauges_snapshot();
 }
 
-void stats_clear() {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  registry().clear();
-}
+void stats_clear() { obs::reset_all(); }
 
 ThreadStats*& current_stats() {
   thread_local ThreadStats* stats = nullptr;

@@ -14,12 +14,18 @@
 
 namespace regla::simt {
 
-// --- Named stat registry ---------------------------------------------------
+// --- Named stat registry (compatibility shim) ------------------------------
 //
-// A tiny process-wide map of named numeric gauges. Subsystems that sit above
-// the engine (the launch planner, benches) export health numbers here —
+// A process-wide map of named numeric gauges. Subsystems that sit above the
+// engine (the launch planner, benches) export health numbers here —
 // plan-cache hit rates, model-vs-measured cycle error — so they can be read
 // uniformly next to the per-launch counters below. Thread-safe.
+//
+// Since the obs subsystem landed this is a shim over obs::Gauge instruments
+// in the shared obs registry (obs/metrics.h): stat_set(name, v) and
+// obs::gauge(name).set(v) write the same cell. New code should use the typed
+// obs instruments directly (Counter for event counts, Histogram for
+// distributions); this API stays for existing exporters and tests.
 
 /// Overwrite `name` with `value` (creating it if absent).
 void stat_set(const std::string& name, double value);
@@ -81,11 +87,25 @@ struct ThreadStats {
   // each ld_dep charges its full model latency to this thread.
   double dep_latency_cycles = 0;
 
+  /// Address-log bound per thread per phase: bank-conflict and coalescing
+  /// analysis sample at most this many shared words / global segments.
+  /// Past the cap, accesses are still *counted* (sh_accesses, gl_loads/
+  /// stores, gl_bytes stay exact) but their addresses are not recorded; the
+  /// fold extrapolates transactions from the sampled prefix (timing.cc) and
+  /// `addrs_truncated` flags that the estimate is sampled, surfaced per
+  /// launch as LaunchCounters::addr_truncations and the process-wide
+  /// "engine.addr_truncations" obs counter — no silent skew.
   static constexpr std::size_t kAddrCap = 1 << 15;
+
+  /// True once either address log hit kAddrCap this phase.
+  bool addrs_truncated = false;
 
   void record_shared(std::uint32_t word_index) {
     ++sh_accesses;
-    if (sh_addrs.size() < kAddrCap) sh_addrs.push_back(word_index);
+    if (sh_addrs.size() < kAddrCap)
+      sh_addrs.push_back(word_index);
+    else
+      addrs_truncated = true;
   }
   void record_global(std::uint64_t byte_addr, std::uint32_t bytes, bool is_load,
                      std::uint32_t segment_bytes) {
@@ -93,6 +113,8 @@ struct ThreadStats {
     gl_bytes += bytes;
     if (gl_segments.size() < kAddrCap)
       gl_segments.push_back(byte_addr / segment_bytes);
+    else
+      addrs_truncated = true;
   }
 
   void reset() {
@@ -103,6 +125,7 @@ struct ThreadStats {
     gl_segments.clear();
     spill_accesses = spill_bytes = 0;
     dep_latency_cycles = 0;
+    addrs_truncated = false;
   }
 
   bool empty() const {
@@ -138,6 +161,9 @@ struct PhaseRecord {
   bool any_shared = false;
   bool any_global = false;
   bool any_spill = false;
+  /// Any thread's address log hit ThreadStats::kAddrCap this phase — the
+  /// transaction estimates above are extrapolated from a sampled prefix.
+  bool addrs_truncated = false;
 };
 
 /// Whole-launch totals (all blocks).
@@ -149,6 +175,9 @@ struct LaunchCounters {
   std::uint64_t gl_bytes = 0;
   std::uint64_t spill_bytes = 0;
   std::uint64_t syncs = 0;
+  /// Phases whose address logs overflowed ThreadStats::kAddrCap (their
+  /// bank-conflict / coalescing estimates are sampled, not exhaustive).
+  std::uint64_t addr_truncations = 0;
 };
 
 }  // namespace regla::simt

@@ -113,6 +113,10 @@ PhaseRecord fold_phase(const DeviceConfig& cfg,
     p.any_shared = p.any_shared || s.sh_accesses > 0;
     p.any_global = p.any_global || (s.gl_loads + s.gl_stores) > 0;
     p.any_spill = p.any_spill || s.spill_accesses > 0;
+    // The warp folds above already extrapolate transactions from the
+    // sampled address prefix when a log hit kAddrCap; the flag records that
+    // this phase's estimates are sampled (see engine.addr_truncations).
+    p.addrs_truncated = p.addrs_truncated || s.addrs_truncated;
   }
   return p;
 }

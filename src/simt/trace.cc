@@ -3,26 +3,34 @@
 #include <algorithm>
 #include <fstream>
 #include <ostream>
+#include <tuple>
 
 #include "common/error.h"
+#include "obs/json.h"
 
 namespace regla::simt {
+
+bool slice_before(const TaggedCycles& a, const TaggedCycles& b) {
+  // Total key: (rank, panel, tag). The old comparator special-cased
+  // panel < 0 with an OR of both sides' tags, which made cmp(a,b) and
+  // cmp(b,a) simultaneously true (e.g. a panel-indexed load vs the panel -1
+  // load) — undefined behavior in std::stable_sort.
+  const auto key = [](const TaggedCycles& s) {
+    // load/store carry panel -1; put load first, store last.
+    const int rank = s.panel >= 0          ? 1
+                     : s.tag == OpTag::store ? 2
+                                             : 0;
+    return std::make_tuple(rank, s.panel, static_cast<int>(s.tag));
+  };
+  return key(a) < key(b);
+}
 
 void write_chrome_trace(const LaunchResult& result, std::ostream& os,
                         const std::string& kernel_name) {
   // Order slices by (panel, tag) — the natural execution order of the
   // factorization kernels (load first: panel -1 load, then panels, store).
   std::vector<TaggedCycles> slices = result.breakdown;
-  std::stable_sort(slices.begin(), slices.end(),
-                   [](const TaggedCycles& a, const TaggedCycles& b) {
-                     if (a.panel != b.panel) {
-                       // load/store carry panel -1; put load first, store last
-                       if (a.panel < 0 || b.panel < 0)
-                         return (a.tag == OpTag::load) || (b.tag == OpTag::store);
-                       return a.panel < b.panel;
-                     }
-                     return static_cast<int>(a.tag) < static_cast<int>(b.tag);
-                   });
+  std::stable_sort(slices.begin(), slices.end(), slice_before);
 
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   double cursor = 0;
@@ -33,7 +41,9 @@ void write_chrome_trace(const LaunchResult& result, std::ostream& os,
     first = false;
     os << "{\"name\":\"" << to_string(s.tag);
     if (s.panel >= 0) os << " p" << s.panel;
-    os << "\",\"cat\":\"" << kernel_name << "\",\"ph\":\"X\",\"ts\":" << cursor
+    os << "\",\"cat\":\"";
+    obs::json_escape_to(os, kernel_name);
+    os << "\",\"ph\":\"X\",\"ts\":" << cursor
        << ",\"dur\":" << s.cycles << ",\"pid\":1,\"tid\":"
        << static_cast<int>(s.tag) + 1 << "}";
     cursor += s.cycles;

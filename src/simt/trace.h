@@ -1,6 +1,10 @@
 // Chrome-trace export of a launch's per-phase timeline: load the JSON into
 // chrome://tracing or Perfetto to see where a kernel's simulated cycles go
 // (one track per operation tag, one slice per phase group).
+//
+// For the cross-layer timeline (runtime queues, planner, worker execute
+// spans with these slices nested inside) see obs/trace.h; this writer keeps
+// the original single-launch view.
 #pragma once
 
 #include <string>
@@ -8,6 +12,12 @@
 #include "simt/engine.h"
 
 namespace regla::simt {
+
+/// Strict weak ordering over breakdown slices in natural execution order:
+/// the panel -1 load slice first, panel slices ascending (ties by tag), the
+/// panel -1 store slice last, any other panel -1 slice with the loads.
+/// Exposed for the writers and for the regression tests.
+bool slice_before(const TaggedCycles& a, const TaggedCycles& b);
 
 /// Write the launch's tag/panel breakdown as a Chrome trace-event JSON file.
 /// Slices are laid out sequentially in per-block average cycle time (the

@@ -1,0 +1,158 @@
+// Minimal strict JSON recognizer for round-tripping trace writer output.
+//
+// The trace tests' acceptance bar is "a JSON parser accepts the file", not
+// "a few substrings appear" — malformed escapes and bare control characters
+// are exactly the class of bug substring checks miss. This recognizer
+// validates the complete grammar (objects, arrays, strings with escape
+// sequences, numbers, true/false/null) and rejects trailing bytes.
+#pragma once
+
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace regla::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  /// True iff the whole input is exactly one valid JSON value.
+  bool parse() {
+    pos_ = 0;
+    err_.clear();
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return check("trailing bytes", pos_ == s_.size());
+  }
+  /// Where and why the last parse() failed (empty on success).
+  const std::string& error() const { return err_; }
+
+ private:
+  bool check(const char* what, bool cond) {
+    if (!cond && err_.empty())
+      err_ = std::string(what) + " at byte " + std::to_string(pos_);
+    return cond;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool value() {
+    if (pos_ >= s_.size()) return check("value expected", false);
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p)
+      if (!eat(*p)) return check("bad literal", false);
+    return true;
+  }
+  bool object() {
+    eat('{');
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return check("':' expected", false);
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return check("',' or '}' expected", false);
+    }
+  }
+  bool array() {
+    eat('[');
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return check("',' or ']' expected", false);
+    }
+  }
+  bool string() {
+    if (!eat('"')) return check("string expected", false);
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return check("unescaped control character", false);
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return check("truncated escape", false);
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i)
+            if (pos_ + i >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+              return check("bad \\u escape", false);
+          pos_ += 4;
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return check("bad escape", false);
+        }
+      }
+      ++pos_;
+    }
+    return check("unterminated string", false);
+  }
+  bool number() {
+    eat('-');
+    if (!digits()) return check("digits expected", false);
+    if (eat('.') && !digits()) return check("fraction digits expected", false);
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digits()) return check("exponent digits expected", false);
+    }
+    return true;
+  }
+  bool digits() {
+    std::size_t n = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+      ++n;
+    }
+    return n > 0;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+/// One-shot helper: parse `s`, optionally reporting the failure reason.
+inline bool json_parses(std::string_view s, std::string* err = nullptr) {
+  JsonChecker c(s);
+  const bool ok = c.parse();
+  if (err != nullptr) *err = c.error();
+  return ok;
+}
+
+}  // namespace regla::testing
