@@ -4,6 +4,7 @@
 // against.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
 #include <vector>
 
 #include "common/generators.h"
@@ -116,4 +117,27 @@ BENCHMARK(BM_BatchedCpuQr)->Arg(16)->Arg(56);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the binary honors the repo-wide --smoke
+// contract: translate it into a tiny --benchmark_min_time before handing the
+// argument vector to google-benchmark (which rejects flags it doesn't know).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::string_view(argv[i]) == "--smoke")
+      smoke = true;
+    else
+      args.push_back(argv[i]);
+  }
+  // Plain seconds: the 1.8+ "0.01s" suffix form is rejected by older
+  // google-benchmark (this container ships 1.7.x).
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,13 +29,15 @@ void fill_spd(regla::BatchF& batch, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   Table t({"n", "cholesky", "LU", "LU+pivot", "pivot cost %", "GJ solve",
            "QR solve"});
   t.precision(1);
   for (int n : {16, 32, 48, 56, 64, 96}) {
+    if (bench::smoke_mode() && n > 32) continue;
     const int threads = model::choose_block_threads(dev.config(), n, n);
     const int blocks = bench::wave_blocks(
         dev.config(), threads, core::per_block_regs(dev.config(), n, n, threads));

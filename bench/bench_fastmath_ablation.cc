@@ -7,8 +7,9 @@
 #include "core/per_thread.h"
 #include "model/per_block_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device fast;  // fast_math on by default
   simt::DeviceConfig full_cfg;
   full_cfg.fast_math = false;
@@ -19,7 +20,8 @@ int main() {
   t.precision(1);
 
   for (int n : {5, 7, 10}) {
-    BatchF a(14336, n, n), b(14336, n, n);
+    const int batch = bench::pick(14336, 1024);
+    BatchF a(batch, n, n), b(batch, n, n);
     fill_uniform(a, n);
     b = a;
     const double gf = core::qr_per_thread(fast, a).gflops();

@@ -10,18 +10,22 @@
 #include "hybrid/hybrid.h"
 #include "model/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   Table t({"n", "per-thread", "per-block", "hybrid CPU+GPU"});
   t.precision(1);
 
   for (int n : {2, 4, 8, 16, 32, 64, 96, 128, 256, 512, 1024, 2048, 4096, 8192}) {
+    // Smoke keeps the crossover region; the hybrid-only tail is the
+    // expensive part and adds nothing to an end-to-end check.
+    if (bench::smoke_mode() && n > 256) continue;
     std::vector<Table::Cell> row{static_cast<long long>(n)};
 
     // One problem per thread (two waves of 256-thread blocks).
     if (n <= 32) {
-      BatchF b(2 * 14336, n, n);
+      BatchF b(bench::pick(2 * 14336, 2048), n, n);
       fill_uniform(b, n);
       row.push_back(core::qr_per_thread(dev, b).gflops());
     } else {

@@ -12,14 +12,15 @@
 #include "hybrid/hybrid.h"
 #include "model/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   Table t({"n", "per-block QR", "MKL QR", "MAGMA-cpu QR", "MAGMA-gpu QR",
            "per-block LU", "MKL LU"});
   t.precision(2);
 
-  for (int n = 8; n <= 144; n += 8) {
+  for (int n = 8; n <= bench::pick(144, 24); n += 8) {
     const int threads = model::choose_block_threads(dev.config(), n, n);
     const int blocks = bench::wave_blocks(
         dev.config(), threads, core::per_block_regs(dev.config(), n, n, threads));
@@ -33,7 +34,8 @@ int main() {
     const double gpu_lu = core::lu_per_block(dev, gl).gflops();
 
     // CPU batch sized for stable timing without hour-long runs.
-    const int cpu_count = std::clamp(200000 / (n * n), 16, 2048);
+    const int cpu_count =
+        std::clamp(200000 / (n * n), 16, bench::pick(2048, 64));
     BatchF cq(cpu_count, n, n);
     fill_uniform(cq, n + 2);
     const double mkl_qr =

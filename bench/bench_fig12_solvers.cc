@@ -8,14 +8,15 @@
 #include "cpu/batched.h"
 #include "model/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   Table t({"n", "per-block QR solve", "MKL QR solve", "per-block GJ",
            "MKL GJ (pivoting)"});
   t.precision(2);
 
-  for (int n = 8; n <= 144; n += 8) {
+  for (int n = 8; n <= bench::pick(144, 24); n += 8) {
     const int threads = model::choose_block_threads(dev.config(), n, n + 1);
     const int blocks = bench::wave_blocks(
         dev.config(), threads,
@@ -31,7 +32,8 @@ int main() {
     fill_uniform(b2, n + 3);
     const double gpu_gj = core::gj_solve_per_block(dev, a2, b2).gflops();
 
-    const int cpu_count = std::clamp(200000 / (n * n), 16, 2048);
+    const int cpu_count =
+        std::clamp(200000 / (n * n), 16, bench::pick(2048, 64));
     BatchF a3(cpu_count, n, n), b3(cpu_count, n, 1);
     fill_diag_dominant(a3, n + 4);
     fill_uniform(b3, n + 5);

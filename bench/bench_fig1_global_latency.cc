@@ -5,12 +5,13 @@
 #include "bench_util.h"
 #include "microbench/microbench.h"
 
-int main() {
+int main(int argc, char** argv) {
+  regla::bench::parse_smoke(argc, argv);
   using regla::Table;
   regla::simt::Device dev;
   Table t({"log2(stride)", "cycles"});
   t.precision(0);
-  for (int s = 0; s <= 26; ++s)
+  for (int s = 0; s <= regla::bench::pick(26, 10); ++s)
     t.add_row({static_cast<long long>(s),
                regla::microbench::global_latency_cycles(dev, std::size_t{1} << s)});
   regla::bench::emit(t, "fig1", "Global memory latency vs stride");

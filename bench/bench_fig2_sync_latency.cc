@@ -4,12 +4,14 @@
 #include "bench_util.h"
 #include "microbench/microbench.h"
 
-int main() {
+int main(int argc, char** argv) {
+  regla::bench::parse_smoke(argc, argv);
   using regla::Table;
   regla::simt::Device dev;
   Table t({"threads", "cycles"});
   t.precision(1);
-  for (int threads = 32; threads <= 1024; threads += 32)
+  for (int threads = 32; threads <= 1024;
+       threads += regla::bench::pick(32, 256))
     t.add_row({static_cast<long long>(threads),
                regla::microbench::sync_latency_cycles(dev, threads)});
   regla::bench::emit(t, "fig2", "Synchronization latency vs threads per SM");

@@ -7,14 +7,17 @@
 #include "core/per_thread.h"
 #include "model/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   Table t({"n", "QR measured", "QR predicted", "LU measured", "LU predicted",
            "spills"});
   t.precision(1);
   for (int n = 3; n <= 12; ++n) {
-    const int batch = 2 * 14336;  // two waves of 256-thread blocks
+    // Two waves of 256-thread blocks (GFLOP/s is wave-count invariant);
+    // smoke keeps the shape sweep but runs a fraction of a wave.
+    const int batch = bench::pick(2 * 14336, 1024);
     BatchF q(batch, n, n);
     fill_uniform(q, 100 + n);
     const auto rq = core::qr_per_thread(dev, q);

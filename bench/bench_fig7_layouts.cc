@@ -7,12 +7,13 @@
 #include "core/per_block.h"
 #include "model/per_block_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   Table t({"n", "2D cyclic", "1D col cyclic", "1D row cyclic"});
   t.precision(1);
-  for (int n = 16; n <= 96; n += 16) {
+  for (int n = 16; n <= bench::pick(96, 32); n += 16) {
     std::vector<Table::Cell> row{static_cast<long long>(n)};
     for (core::Layout layout :
          {core::Layout::cyclic2d, core::Layout::col1d, core::Layout::row1d}) {

@@ -7,11 +7,12 @@
 #include "core/per_block.h"
 #include "model/per_block_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   const int n = 56;
-  BatchF b(112, n, n);
+  BatchF b(bench::pick(112, 14), n, n);
   fill_uniform(b, 7);
   const auto run = core::qr_per_block(dev, b, nullptr, {64, core::Layout::cyclic2d});
 

@@ -8,13 +8,14 @@
 #include "core/per_block.h"
 #include "model/model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   Table t({"n", "threads", "QR meas", "QR pred", "LU meas", "LU pred",
            "blocks/SM"});
   t.precision(1);
-  for (int n = 8; n <= 144; n += 8) {
+  for (int n = 8; n <= bench::pick(144, 24); n += 8) {
     const int threads = model::choose_block_threads(dev.config(), n, n);
     const int blocks = bench::wave_blocks(
         dev.config(), threads, core::per_block_regs(dev.config(), n, n, threads));

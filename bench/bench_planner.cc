@@ -12,8 +12,9 @@
 #include "model/model.h"
 #include "planner/solver.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   Solver solver(dev);
   Table t({"n", "static", "GFLOP/s", "planned", "GFLOP/s", "pred Mcyc",
@@ -22,7 +23,8 @@ int main() {
 
   int worse_than_static = 0;
   for (int n : {2, 4, 8, 16, 32, 48, 64, 80, 96, 112, 128}) {
-    const int batch = n <= 16 ? 4096 : 112;
+    if (bench::smoke_mode() && n > 48) continue;
+    const int batch = n <= 16 ? bench::pick(4096, 512) : 112;
     const double flops = model::qr_flops(n, n) * batch;
 
     // The static rule, dispatched exactly as the pre-planner API did:

@@ -98,6 +98,92 @@ RunResult run(int n, double rate_rps, bool coalesce, int requests) {
   return r;
 }
 
+// The resilience sweep: the same open-loop burst against a device seeded
+// with 10% transient launch failures, with the full policy stack on (bounded
+// retry + backoff, shed-on-saturation, CPU fallback). The acceptance bar is
+// not throughput — it is accounting: every future issued resolves exactly
+// once, solved or typed, zero hangs, zero silent drops, and the runtime's
+// counters reconcile with what the callers observed.
+int resilience_sweep(int requests) {
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.max_batch_delay = 200us;
+  opt.max_queue_problems = 1 << 15;
+  opt.device.faults.launch_failure_rate = 0.10;
+  opt.max_retries = 3;
+  opt.retry_backoff = std::chrono::microseconds{100};
+  opt.cpu_fallback = true;
+  opt.shed_on_saturation = true;
+  Runtime rt(opt);
+
+  std::vector<std::future<Report>> futs;
+  futs.reserve(requests);
+  int on_cpu = 0, retried = 0;
+  for (int i = 0; i < requests; ++i) {
+    BatchF a(kProblemsPerRequest, 8, 8);
+    regla::fill_uniform(a, static_cast<std::uint64_t>(i));
+    futs.push_back(rt.submit(Op::qr, std::move(a)));
+  }
+  int ok = 0, typed = 0, untyped = 0, hung = 0;
+  for (auto& f : futs) {
+    if (f.wait_for(std::chrono::seconds{60}) != std::future_status::ready) {
+      ++hung;  // a hang is exactly what this sweep exists to rule out
+      continue;
+    }
+    try {
+      const Report r = f.get();
+      ++ok;
+      if (r.solved_on_cpu) ++on_cpu;
+      if (r.retries > 0) ++retried;
+    } catch (const regla::runtime::QueueSaturated&) {
+      ++typed;
+    } catch (const regla::runtime::DeadlineExceeded&) {
+      ++typed;
+    } catch (const regla::runtime::TransientLaunchFailure&) {
+      ++typed;
+    } catch (...) {
+      ++untyped;
+    }
+  }
+  rt.shutdown();
+  const auto st = rt.stats();
+
+  Table t({"metric", "value"});
+  t.precision(0);
+  t.add_row({std::string("futures issued"), static_cast<long long>(requests)});
+  t.add_row({std::string("resolved ok"), static_cast<long long>(ok)});
+  t.add_row({std::string("resolved typed"), static_cast<long long>(typed)});
+  t.add_row({std::string("resolved untyped"), static_cast<long long>(untyped)});
+  t.add_row({std::string("stats fulfilled"), static_cast<long long>(st.fulfilled)});
+  t.add_row({std::string("stats failed"), static_cast<long long>(st.failed_requests)});
+  t.add_row({std::string("stats retries"), static_cast<long long>(st.retries)});
+  t.add_row({std::string("stats shed"), static_cast<long long>(st.shed)});
+  t.add_row({std::string("stats deadline_exceeded"),
+             static_cast<long long>(st.deadline_exceeded)});
+  t.add_row({std::string("stats fallback_cpu"),
+             static_cast<long long>(st.fallback_cpu)});
+  t.add_row({std::string("stats circuit_opens"),
+             static_cast<long long>(st.circuit_opens)});
+  t.add_row({std::string("requests retried (caller view)"),
+             static_cast<long long>(retried)});
+  t.add_row({std::string("requests degraded to cpu (caller view)"),
+             static_cast<long long>(on_cpu)});
+  regla::bench::emit(t, "runtime_resilience",
+                     "Serving runtime under 10% injected launch failures");
+
+  const bool reconciled =
+      hung == 0 && ok + typed + untyped == requests &&
+      st.fulfilled == static_cast<std::uint64_t>(ok) &&
+      st.fulfilled + st.failed_requests ==
+          static_cast<std::uint64_t>(requests) &&
+      st.shed + st.deadline_exceeded <= st.failed_requests;
+  std::printf("resilience: %d futures -> %d ok, %d typed, %d untyped, "
+              "%d hung; accounting %s\n",
+              requests, ok, typed, untyped, hung,
+              reconciled ? "reconciles" : "DOES NOT RECONCILE");
+  return reconciled ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,11 +194,15 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       print_stats = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      regla::bench::smoke_mode() = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace out.json] [--stats]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--trace out.json] [--stats] [--smoke]\n",
+                   argv[0]);
       return 2;
     }
   }
+  const bool smoke = regla::bench::smoke_mode();
   if (!trace_path.empty()) regla::obs::trace_start({1 << 16});
 
   // Fig. 10 shapes spanning the kernel families — per-thread (8), per-block
@@ -132,14 +222,19 @@ int main(int argc, char** argv) {
            "mean batch", "p50 ms", "p99 ms"});
   t.precision(1);
 
+  // Smoke: first rate of each shape only, ~0.1 s of traffic per cell. The
+  // rows keep the full run's (n, rate, mode) keys so
+  // scripts/check_bench_regression.py can compare them against the
+  // committed bench_results/runtime.csv baseline.
   int high_rate_losses = 0;
   for (const Sweep& sweep : sweeps) {
-    for (int ri = 0; ri < 3; ++ri) {
+    for (int ri = 0; ri < (smoke ? 1 : 3); ++ri) {
       const double rate = sweep.rates[ri];
       // Bound each cell to ~0.4 s of offered traffic (and keep the
       // oversubscribed cells' backlogs drainable in seconds).
-      const int requests =
-          std::max(24, std::min(4000, int(rate * 0.4)));
+      const int requests = smoke
+          ? std::max(24, std::min(400, int(rate * 0.1)))
+          : std::max(24, std::min(4000, int(rate * 0.4)));
       const RunResult base = run(sweep.n, rate, /*coalesce=*/false, requests);
       const RunResult coal = run(sweep.n, rate, /*coalesce=*/true, requests);
       for (const auto* pair : {&base, &coal}) {
@@ -156,9 +251,12 @@ int main(int argc, char** argv) {
   regla::bench::emit(t, "runtime",
                      "Serving runtime, open-loop Poisson arrivals: request "
                      "coalescing vs per-request launches");
-  std::printf("high-rate shapes where coalescing lost on device throughput: "
-              "%d\n",
-              high_rate_losses);
+  if (!smoke)
+    std::printf("high-rate shapes where coalescing lost on device "
+                "throughput: %d\n",
+                high_rate_losses);
+
+  const int resilience_rc = resilience_sweep(smoke ? 250 : 1000);
   if (!trace_path.empty()) {
     regla::obs::trace_stop();
     regla::obs::write_trace_json(trace_path);
@@ -168,5 +266,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(regla::obs::trace_dropped()));
   }
   if (print_stats) regla::obs::dump(std::cout);
-  return high_rate_losses == 0 ? 0 : 1;
+  // The coalescing perf gate only means something at full fidelity; the
+  // resilience accounting gate holds in both modes.
+  if (resilience_rc != 0) return resilience_rc;
+  return (smoke || high_rate_losses == 0) ? 0 : 1;
 }

@@ -2,7 +2,8 @@
 #include "bench_util.h"
 #include "simt/device_config.h"
 
-int main() {
+int main(int argc, char** argv) {
+  regla::bench::parse_smoke(argc, argv);  // accepted; nothing to shrink
   using regla::Table;
   const auto cfg = regla::simt::DeviceConfig::quadro6000();
   Table t({"parameter", "value"});

@@ -3,7 +3,8 @@
 #include "bench_util.h"
 #include "microbench/microbench.h"
 
-int main() {
+int main(int argc, char** argv) {
+  regla::bench::parse_smoke(argc, argv);  // accepted; already seconds-fast
   using regla::Table;
   regla::simt::Device dev;
   Table t({"level", "measured cycles", "paper cycles"});

@@ -5,11 +5,13 @@
 #include "common/generators.h"
 #include "core/per_block.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   const int n = 56;
-  const int blocks = 112;  // 8 per SM x 14 SMs, as in the paper
+  // 8 per SM x 14 SMs, as in the paper; smoke runs one block per SM.
+  const int blocks = bench::pick(112, 14);
 
   Table t({"factorization", "load", "compute", "store", "paper load",
            "paper compute", "paper store"});

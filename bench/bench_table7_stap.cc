@@ -9,8 +9,9 @@
 #include "cpu/batched.h"
 #include "model/flops.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace regla;
+  bench::parse_smoke(argc, argv);
   simt::Device dev;
   Table t({"size", "#matrices", "GPU GFLOPS", "CPU GFLOPS", "speedup",
            "approach", "paper GPU", "paper MKL"});
@@ -22,11 +23,12 @@ int main() {
       {192, 96, 128, 98, 27},
   };
   for (const auto& c : cases) {
-    BatchC gpu_batch(c.count, c.m, c.n);
+    const int count = bench::smoke_mode() ? std::min(c.count, 32) : c.count;
+    BatchC gpu_batch(count, c.m, c.n);
     fill_uniform(gpu_batch, c.m + c.n);
     const auto gpu = core::batched_qr(dev, gpu_batch);
 
-    const int cpu_count = std::min(c.count, 64);
+    const int cpu_count = std::min(c.count, bench::pick(64, 8));
     BatchC cpu_batch(cpu_count, c.m, c.n);
     fill_uniform(cpu_batch, c.m + c.n + 1);
     const auto cpu_t = cpu::batched_qr(cpu_batch);

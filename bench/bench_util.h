@@ -3,6 +3,7 @@
 // working directory for plotting.
 #pragma once
 
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -13,6 +14,30 @@
 
 namespace regla::bench {
 
+/// --smoke mode: every bench binary accepts the flag and shrinks its sweep
+/// to a seconds-long end-to-end pass — same code paths, same CSV schema,
+/// publication-grade numbers NOT expected. CI runs the smoke pass on every
+/// push (scripts/bench_smoke.sh); smoke CSVs land under bench_results/smoke/
+/// so the committed full-run baselines are never overwritten.
+inline bool& smoke_mode() {
+  static bool mode = false;
+  return mode;
+}
+
+/// Parse argv for --smoke (call first thing in main). Unknown flags are left
+/// for the bench's own parser. Returns smoke_mode() for convenience.
+inline bool parse_smoke(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke_mode() = true;
+  return smoke_mode();
+}
+
+/// The full-fidelity value, or the smoke-sized one under --smoke.
+template <typename T>
+inline T pick(T full, T smoked) {
+  return smoke_mode() ? smoked : full;
+}
+
 /// Blocks needed to fill the chip for one wave at this launch shape.
 inline int wave_blocks(const simt::DeviceConfig& cfg, int threads,
                        int regs_per_thread, std::size_t shared_bytes = 2048) {
@@ -20,13 +45,16 @@ inline int wave_blocks(const simt::DeviceConfig& cfg, int threads,
   return occ.blocks_per_sm * cfg.num_sm;
 }
 
-/// Emit the table to stdout and a CSV under bench_results/.
+/// Emit the table to stdout and a CSV under bench_results/ (or
+/// bench_results/smoke/ in --smoke mode, keeping baselines pristine).
 inline void emit(Table& table, const std::string& id, const std::string& title) {
   table.print(std::cout, id + " — " + title);
+  const std::string dir =
+      smoke_mode() ? "bench_results/smoke" : "bench_results";
   std::error_code ec;
-  std::filesystem::create_directories("bench_results", ec);
-  if (!ec) table.write_csv_file("bench_results/" + id + ".csv");
-  std::cout << "(csv: bench_results/" << id << ".csv)\n";
+  std::filesystem::create_directories(dir, ec);
+  if (!ec) table.write_csv_file(dir + "/" + id + ".csv");
+  std::cout << "(csv: " << dir << "/" << id << ".csv)\n";
 }
 
 }  // namespace regla::bench

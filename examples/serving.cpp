@@ -9,6 +9,12 @@
 // expires), and every client still just calls submit() and waits on its own
 // future.
 //
+// Act two re-runs the same fleet against a hostile device: 10% of launches
+// fail with TransientLaunchFailure (deterministic, seeded). With bounded
+// retry + CPU fallback enabled, every request still resolves — successfully
+// or with a typed error, never a hang — and the stats show what the
+// resilience stack absorbed.
+//
 //   cmake -B build && cmake --build build -j
 //   ./build/examples/serving
 #include <atomic>
@@ -23,23 +29,28 @@
 #include "obs/obs.h"
 #include "runtime/runtime.h"
 
-int main() {
-  using namespace regla;
-  using namespace std::chrono_literals;
+namespace {
 
-  runtime::RuntimeOptions opt;
-  opt.workers = 2;                 // two device streams execute flushes
-  opt.max_batch_delay = 500us;     // stragglers wait at most this long
-  runtime::Runtime rt(opt);
+using namespace regla;
+using namespace std::chrono_literals;
 
-  // 16 clients, each submitting 25 requests of 4 QR problems — a mix of
-  // per-thread (8x8) and per-block (32x32) signatures, interleaved. Requests
-  // with the same signature coalesce into shared device batches; different
-  // signatures never mix.
-  constexpr int kClients = 16, kRequestsPerClient = 25, kPerRequest = 4;
+struct FleetResult {
+  long problems_done = 0;
+  int failed = 0;        ///< typed errors (the resilience contract)
+  int untyped = 0;       ///< anything else escaping a future — should be 0
+  int retried = 0;       ///< requests whose report shows device retries
+  int on_cpu = 0;        ///< requests degraded to the CPU solvers
+};
+
+// 16 clients, each submitting 25 requests of 4 QR problems — a mix of
+// per-thread (8x8) and per-block (32x32) signatures, interleaved. Requests
+// with the same signature coalesce into shared device batches; different
+// signatures never mix.
+constexpr int kClients = 16, kRequestsPerClient = 25, kPerRequest = 4;
+
+FleetResult run_fleet(runtime::Runtime& rt) {
   std::atomic<long> problems_done{0};
-  std::atomic<int> failures{0};
-
+  std::atomic<int> failed{0}, untyped{0}, retried{0}, on_cpu{0};
   std::vector<std::thread> clients;
   clients.reserve(kClients);
   for (int c = 0; c < kClients; ++c) {
@@ -58,20 +69,29 @@ int main() {
         try {
           const runtime::Report r = fut.get();
           problems_done += r.a.count();
+          if (r.retries > 0) ++retried;
+          if (r.solved_on_cpu) ++on_cpu;
+        } catch (const Error&) {
+          ++failed;  // typed: TransientLaunchFailure / DeadlineExceeded / ...
         } catch (...) {
-          ++failures;
+          ++untyped;
         }
       }
     });
   }
   for (auto& t : clients) t.join();
-  rt.shutdown();
+  FleetResult r;
+  r.problems_done = problems_done;
+  r.failed = failed;
+  r.untyped = untyped;
+  r.retried = retried;
+  r.on_cpu = on_cpu;
+  return r;
+}
 
-  const auto st = rt.stats();
-  std::printf("clients:          %d x %d requests x %d problems\n", kClients,
-              kRequestsPerClient, kPerRequest);
-  std::printf("problems solved:  %ld (%d failed requests)\n",
-              problems_done.load(), failures.load());
+void print_stats(const runtime::RuntimeStats& st, const FleetResult& r) {
+  std::printf("problems solved:  %ld (%d typed failures, %d untyped)\n",
+              r.problems_done, r.failed, r.untyped);
   std::printf("device batches:   %llu (mean %.1f problems/batch; "
               "baseline without coalescing: %.0f batches)\n",
               static_cast<unsigned long long>(st.batches), st.mean_batch(),
@@ -86,10 +106,66 @@ int main() {
   std::printf("latency:          p50 %.2f ms, p99 %.2f ms\n", st.p50_ms(),
               st.p99_ms());
   std::printf("simulated device: %.2f ms busy\n", st.device_seconds * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== act 1: healthy device ===\n");
+  {
+    runtime::RuntimeOptions opt;
+    opt.workers = 2;                 // two device streams execute flushes
+    opt.max_batch_delay = 500us;     // stragglers wait at most this long
+    runtime::Runtime rt(opt);
+    const FleetResult r = run_fleet(rt);
+    rt.shutdown();
+    std::printf("clients:          %d x %d requests x %d problems\n", kClients,
+                kRequestsPerClient, kPerRequest);
+    print_stats(rt.stats(), r);
+    if (r.failed != 0 || r.untyped != 0) return 1;
+  }
+
+  std::printf("\n=== act 2: 10%% launch failures, resilience on ===\n");
+  {
+    runtime::RuntimeOptions opt;
+    opt.workers = 2;
+    opt.max_batch_delay = 500us;
+    opt.device.faults.launch_failure_rate = 0.10;  // seeded, deterministic
+    opt.max_retries = 3;             // bounded retry with exponential backoff
+    opt.retry_backoff = 100us;
+    opt.cpu_fallback = true;         // circuit-broken stream degrades to cpu::
+    opt.shed_on_saturation = true;   // full queue sheds (QueueSaturated)
+    runtime::Runtime rt(opt);
+    const FleetResult r = run_fleet(rt);
+    rt.shutdown();
+    const auto st = rt.stats();
+    print_stats(st, r);
+    std::printf("resilience:       %llu retries, %llu cpu-fallback launches, "
+                "%llu circuit opens; %d requests saw a retry, %d degraded "
+                "to cpu\n",
+                static_cast<unsigned long long>(st.retries),
+                static_cast<unsigned long long>(st.fallback_cpu),
+                static_cast<unsigned long long>(st.circuit_opens),
+                r.retried, r.on_cpu);
+    // The contract: every future resolved — solved or typed — zero hangs,
+    // zero untyped escapes, and the stats reconcile with what callers saw.
+    const bool reconciled =
+        r.untyped == 0 &&
+        st.fulfilled + st.failed_requests ==
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient);
+    std::printf("accounting:       fulfilled %llu + failed %llu = %d issued "
+                "(%s)\n",
+                static_cast<unsigned long long>(st.fulfilled),
+                static_cast<unsigned long long>(st.failed_requests),
+                kClients * kRequestsPerClient,
+                reconciled ? "reconciles" : "DOES NOT RECONCILE");
+    if (!reconciled) return 1;
+  }
 
   // The same health numbers through the obs registry — every layer
-  // (runtime.*, planner.*, engine.*) in one exposition.
+  // (runtime.*, planner.*, engine.*) in one exposition, fault and
+  // resilience counters included.
   std::printf("\n--- obs::dump ---\n");
   regla::obs::dump(std::cout);
-  return failures == 0 ? 0 : 1;
+  return 0;
 }

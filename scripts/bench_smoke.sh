@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Bench smoke gate: build every bench binary and run each with --smoke — the
+# same code paths and CSV schemas as the full runs, shrunk to seconds. This
+# catches bit-rot in the bench mains (which tier-1 tests never execute) and
+# exercises bench_runtime's resilience sweep (10% injected launch failures;
+# fails if any future hangs or the accounting does not reconcile).
+#
+# Smoke CSVs land in <build>/bench_results/smoke/; afterwards
+# scripts/check_bench_regression.py compares the smoke runtime rows against
+# the committed bench_results/runtime.csv baseline (warn-only by default).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESET="${PRESET:-tier1}"
+
+# Keep in sync with REGLA_FIG_BENCHES in bench/CMakeLists.txt (an explicit
+# list, not a build-dir glob, so stale binaries from removed targets can't
+# sneak into the gate).
+BENCHES=(
+  bench_table1_chip bench_table2_bandwidth bench_table3_latency
+  bench_table4_params bench_table5_phases bench_table7_stap
+  bench_fig1_global_latency bench_fig2_sync_latency bench_fig4_per_thread
+  bench_fig7_layouts bench_fig8_panels bench_fig9_per_block
+  bench_fig10_approaches bench_fig11_mkl_magma bench_fig12_solvers
+  bench_fastmath_ablation bench_ext_solvers bench_planner bench_runtime
+  bench_cpu_kernels
+)
+
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "$(nproc)" --target "${BENCHES[@]}"
+
+# The build dir follows the preset naming in CMakePresets.json.
+case "$PRESET" in
+  tier1) dir=build ;;
+  *) dir="build-$PRESET" ;;
+esac
+
+cd "$dir/bench"
+for b in "${BENCHES[@]}"; do
+  echo "== $b --smoke"
+  # `timeout` turns a hung bench into a failure instead of a stuck gate.
+  timeout 600 "./$b" --smoke
+done
+
+cd ../..
+python3 scripts/check_bench_regression.py \
+  --fresh "$dir/bench/bench_results/smoke/runtime.csv" \
+  --baseline bench_results/runtime.csv \
+  "$@"
+
+echo "bench smoke: all binaries ran clean"

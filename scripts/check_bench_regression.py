@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_runtime smoke CSV against the committed baseline.
+
+The smoke sweep runs the first rate of each shape with the same (n, rate,
+mode) row keys as the committed full-fidelity bench_results/runtime.csv, so
+the "device pr/s" column — problems per simulated device second, the paper's
+throughput metric, which is deterministic in the simulator and independent of
+host load — is directly comparable. Rows present in only one file are
+reported but never fatal (sweeps legitimately grow and shrink).
+
+Warn-only by default: CI prints the deltas and always exits 0 so a noisy
+runner can't block merges. Pass --strict to turn >tolerance deltas into a
+non-zero exit (for local use when hunting a regression).
+"""
+
+import argparse
+import csv
+import sys
+
+KEY_COLS = ("n", "rate req/s", "mode")
+VALUE_COL = "device pr/s"
+
+
+def load(path):
+    rows = {}
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            try:
+                key = tuple(row[c].strip() for c in KEY_COLS)
+                rows[key] = float(row[VALUE_COL])
+            except (KeyError, ValueError) as e:
+                sys.exit(f"{path}: bad row {row!r}: {e}")
+    if not rows:
+        sys.exit(f"{path}: no data rows")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", required=True,
+                    help="smoke CSV from this build (bench_results/smoke/runtime.csv)")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline (bench_results/runtime.csv)")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="relative tolerance on '%s' (default 0.15)" % VALUE_COL)
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when any shared row regresses past tolerance")
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+    shared = sorted(fresh.keys() & base.keys())
+    if not shared:
+        # Key mismatch means the sweep or schema changed — that is worth a
+        # loud note, but only --strict makes it fatal.
+        print("bench-regression: no shared (n, rate, mode) rows between "
+              f"{args.fresh} and {args.baseline}")
+        return 1 if args.strict else 0
+
+    regressions = []
+    print(f"bench-regression: '{VALUE_COL}', tolerance ±{args.tolerance:.0%}")
+    print(f"{'n':>4} {'rate':>8} {'mode':<9} {'baseline':>14} {'fresh':>14} {'delta':>8}")
+    for key in shared:
+        b, f = base[key], fresh[key]
+        delta = (f - b) / b if b else 0.0
+        flag = ""
+        if delta < -args.tolerance:
+            flag = "  REGRESSION"
+            regressions.append((key, delta))
+        elif delta > args.tolerance:
+            flag = "  (faster)"
+        n, rate, mode = key
+        print(f"{n:>4} {rate:>8} {mode:<9} {b:>14.1f} {f:>14.1f} {delta:>+7.1%}{flag}")
+
+    for key in sorted(fresh.keys() - base.keys()):
+        print(f"note: fresh-only row {key} (no baseline to compare)")
+    for key in sorted(base.keys() - fresh.keys()):
+        print(f"note: baseline row {key} not produced by the smoke sweep")
+
+    if regressions:
+        print(f"bench-regression: {len(regressions)} row(s) slower than "
+              f"baseline by more than {args.tolerance:.0%}"
+              + ("" if args.strict else " (warn-only; pass --strict to fail)"))
+        return 1 if args.strict else 0
+    print("bench-regression: all shared rows within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

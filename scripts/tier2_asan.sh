@@ -19,6 +19,8 @@ export ASAN_OPTIONS="detect_leaks=1 ${ASAN_OPTIONS:-}"
 export LSAN_OPTIONS="suppressions=$(pwd)/scripts/lsan.supp ${LSAN_OPTIONS:-}"
 export UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}"
 
-./build-asan/tests/regla_tests
+# `timeout` backstops the raw gtest run: ctest's per-test TIMEOUT does not
+# apply here, and a hang must fail the gate, not stall it.
+timeout 1800 ./build-asan/tests/regla_tests
 
 echo "tier2 asan: clean"

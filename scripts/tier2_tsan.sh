@@ -19,10 +19,15 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 
 # RuntimeQueue.* drive the runtime through the solve_override hook (pure
 # queueing, no kernels); RuntimeSolve.* add real fiber-backed launches;
-# Obs* cover the metric registry, the trace ring, and the cross-layer
-# timeline (ObsRuntimeTrace exercises the trace buffer from the dispatcher
-# and every worker thread at once).
-./build-tsan/tests/regla_tests \
-  --gtest_filter='ThreadPool*:PlanCache*:RuntimeQueue*:RuntimeSolve*:TimerWheel*:Fiber*:Obs*'
+# RuntimeFault*/EngineFault* exercise the fault-injection and resilience
+# paths (retry/backoff, deadline failure, shedding, CPU fallback — all of
+# which cross threads); Obs* cover the metric registry, the trace ring, and
+# the cross-layer timeline (ObsRuntimeTrace exercises the trace buffer from
+# the dispatcher and every worker thread at once).
+#
+# `timeout` backstops the raw gtest run: ctest's per-test TIMEOUT does not
+# apply here, and a sanitizer-found deadlock must fail, not hang the gate.
+timeout 1800 ./build-tsan/tests/regla_tests \
+  --gtest_filter='ThreadPool*:PlanCache*:RuntimeQueue*:RuntimeSolve*:RuntimeFault*:EngineFault*:TimerWheel*:Fiber*:Obs*'
 
 echo "tier2 tsan: clean"

@@ -141,6 +141,15 @@ double gauge_value(std::string_view name, std::string_view labels) {
   return it->second->gauge.value();
 }
 
+std::uint64_t counter_value(std::string_view name, std::string_view labels) {
+  Registry& r = registry();
+  const std::string key = make_key(name, labels);
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.by_key.find(key);
+  if (it == r.by_key.end() || it->second->kind != Kind::counter) return 0;
+  return it->second->counter.value();
+}
+
 std::map<std::string, double> gauges_snapshot() {
   Registry& r = registry();
   std::map<std::string, double> out;

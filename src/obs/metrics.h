@@ -107,6 +107,12 @@ Histogram& histogram(std::string_view name, std::string_view labels = {});
 /// (the stat_get shim semantics).
 double gauge_value(std::string_view name, std::string_view labels = {});
 
+/// Lookup without creating: the counter's value, or 0 if absent. Lets tests
+/// and benches reconcile event counts without registering instruments the
+/// code under test never touched.
+std::uint64_t counter_value(std::string_view name,
+                            std::string_view labels = {});
+
 /// Every written gauge as (key, value) — the stat_* shim's snapshot.
 std::map<std::string, double> gauges_snapshot();
 

@@ -1,0 +1,50 @@
+// The serving runtime's typed error taxonomy.
+//
+// A future obtained from Runtime::submit resolves in exactly one of four
+// ways, and a caller can catch each by type:
+//
+//   Report                  the request was solved (possibly after retries,
+//                           possibly on the CPU fallback path — see
+//                           Report::resilience).
+//   TransientLaunchFailure  every device attempt failed with a retryable
+//                           launch failure, retries are exhausted, and no
+//                           CPU fallback is configured. Safe to resubmit.
+//   DeadlineExceeded        the request's deadline passed before a result
+//                           could be delivered. Deadlines are enforced end
+//                           to end: in the queue, before execution, and at
+//                           delivery — a request never resolves late and
+//                           silently.
+//   QueueSaturated          admission control shed the request because its
+//                           signature queue was full (shed_on_saturation
+//                           policy, or a blocking submit whose deadline
+//                           expired while waiting for space).
+//
+// Anything else (a kernel precondition failure, an exception from a
+// solve_override hook) propagates unwrapped, exactly as before.
+#pragma once
+
+#include "common/error.h"
+#include "simt/fault.h"
+
+namespace regla::runtime {
+
+/// A launch failed in a retryable way. Thrown by simt::Device::launch (the
+/// fault hooks today, a real driver error tomorrow); re-exported here so
+/// runtime callers catch runtime:: types only.
+using TransientLaunchFailure = regla::simt::TransientLaunchFailure;
+
+/// The request's deadline passed; the result (if any was computed) was
+/// discarded rather than delivered late.
+class DeadlineExceeded : public regla::Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : regla::Error(what) {}
+};
+
+/// Admission control rejected the request: its signature queue was full and
+/// the runtime is configured to shed rather than block.
+class QueueSaturated : public regla::Error {
+ public:
+  explicit QueueSaturated(const std::string& what) : regla::Error(what) {}
+};
+
+}  // namespace regla::runtime

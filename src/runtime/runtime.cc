@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "cpu/batched.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simt/stats.h"
@@ -60,15 +61,34 @@ std::size_t SignatureHash::operator()(const Signature& s) const {
 }
 
 /// A worker stream: its own simulated device and Solver, sharing the
-/// runtime-wide planner (and thus its plan cache) with every sibling.
+/// runtime-wide planner (and thus its plan cache) with every sibling. A
+/// stream is held by exactly one worker at a time, so the resilience state
+/// (circuit breaker, fallback pool) needs no locking.
 struct Runtime::Stream {
   simt::Device dev;
   Solver solver;
+  int host_threads = 0;
+  /// Exhausted-retry episodes since the last success; trips the breaker.
+  int consecutive_failures = 0;
+  /// While now < broken_until the circuit is open: device attempts are
+  /// skipped and solves degrade straight to the CPU path.
+  Clock::time_point broken_until{};
+  /// CPU-fallback workers, built on first use. Per stream because
+  /// ThreadPool::parallel_for must be externally serialized — the global
+  /// pool would race across concurrently-degrading streams.
+  std::unique_ptr<cpu::ThreadPool> fallback_pool;
 
   Stream(const simt::DeviceConfig& cfg, std::shared_ptr<planner::Planner> p,
-         int host_threads)
-      : dev(cfg), solver(dev, std::move(p)) {
+         int threads)
+      : dev(cfg), solver(dev, std::move(p)), host_threads(threads) {
     if (host_threads > 0) dev.set_host_workers(host_threads);
+  }
+
+  cpu::ThreadPool& fallback() {
+    if (!fallback_pool)
+      fallback_pool =
+          std::make_unique<cpu::ThreadPool>(std::max(1, host_threads));
+    return *fallback_pool;
   }
 };
 
@@ -177,6 +197,33 @@ std::future<Report> Runtime::submit(planner::Op op, BatchC a,
   return enqueue(sig, std::move(p), /*blocking=*/true, nullptr);
 }
 
+std::future<Report> Runtime::submit(planner::Op op, BatchF a, BatchF b,
+                                    const SubmitOptions& sopts) {
+  validate_f32(op, a, b);
+  const Signature sig{op, a.rows(), a.cols(), planner::Dtype::f32,
+                      sopts.solve.threads, sopts.solve.layout};
+  Payload p;
+  p.a = std::move(a);
+  p.b = std::move(b);
+  return enqueue(sig, std::move(p), /*blocking=*/true, nullptr,
+                 sopts.deadline);
+}
+
+std::future<Report> Runtime::submit(planner::Op op, BatchC a,
+                                    const SubmitOptions& sopts) {
+  REGLA_CHECK_MSG(op == planner::Op::qr,
+                  "complex submissions support QR only (paper §VII)");
+  REGLA_CHECK_MSG(a.count() > 0 && a.rows() > 0 && a.cols() > 0,
+                  "empty submission");
+  const Signature sig{op, a.rows(), a.cols(), planner::Dtype::c64,
+                      sopts.solve.threads, sopts.solve.layout};
+  Payload p;
+  p.ca = std::move(a);
+  p.is_complex = true;
+  return enqueue(sig, std::move(p), /*blocking=*/true, nullptr,
+                 sopts.deadline);
+}
+
 std::optional<std::future<Report>> Runtime::try_submit(
     planner::Op op, BatchF a, BatchF b, const core::SolveOptions& opts) {
   validate_f32(op, a, b);
@@ -191,8 +238,22 @@ std::optional<std::future<Report>> Runtime::try_submit(
   return fut;
 }
 
+namespace {
+
+/// A future already resolved with `err` — the admission-failure result.
+template <typename E>
+std::future<Report> failed_future(E err) {
+  std::promise<Report> pr;
+  std::future<Report> fut = pr.get_future();
+  pr.set_exception(std::make_exception_ptr(std::move(err)));
+  return fut;
+}
+
+}  // namespace
+
 std::future<Report> Runtime::enqueue(const Signature& sig, Payload payload,
-                                     bool blocking, bool* rejected) {
+                                     bool blocking, bool* rejected,
+                                     std::chrono::microseconds deadline) {
   // Covers queue admission including any backpressure block (the time a
   // submitter spends waiting for space shows on its own thread's track).
   obs::Span span("runtime.submit", "runtime");
@@ -201,6 +262,10 @@ std::future<Report> Runtime::enqueue(const Signature& sig, Payload payload,
   // reject it now instead of blocking forever on space that cannot appear.
   REGLA_CHECK_MSG(static_cast<std::size_t>(k) <= opt_.max_queue_problems,
                   "submission larger than max_queue_problems");
+  if (deadline.count() == 0) deadline = opt_.default_deadline;
+  const Clock::time_point abs_deadline =
+      deadline.count() > 0 ? Clock::now() + deadline
+                           : Clock::time_point::max();
   std::vector<Batch> ready;
   std::future<Report> fut;
   {
@@ -219,7 +284,10 @@ std::future<Report> Runtime::enqueue(const Signature& sig, Payload payload,
       it->second.target = target;
     }
     Queue& q = it->second;
-    // Backpressure: bounded pending problems per signature.
+    // Backpressure: bounded pending problems per signature. Three policies
+    // on a full queue: fail fast (try_submit), shed with a typed error
+    // (shed_on_saturation), or block — at most until the request's own
+    // deadline, which a saturated queue must not silently eat.
     while (q.pending_problems + k >
            static_cast<int>(opt_.max_queue_problems)) {
       if (!blocking) {
@@ -228,12 +296,41 @@ std::future<Report> Runtime::enqueue(const Signature& sig, Payload payload,
         ++stats_.rejected;
         return {};
       }
-      ++q.space_waiters;
-      cv_space_.wait(lock, [&] {
+      if (opt_.shed_on_saturation) {
+        {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.shed;
+          ++stats_.failed_requests;
+        }
+        obs::counter("runtime.shed").add();
+        return failed_future(QueueSaturated(
+            "queue saturated: " + std::to_string(q.pending_problems) +
+            " problems pending (bound " +
+            std::to_string(opt_.max_queue_problems) + ")"));
+      }
+      const auto have_space = [&] {
         return closed_ || q.pending_problems + k <=
                               static_cast<int>(opt_.max_queue_problems);
-      });
+      };
+      ++q.space_waiters;
+      bool spaced = true;
+      if (abs_deadline != Clock::time_point::max())
+        spaced = cv_space_.wait_until(lock, abs_deadline, have_space);
+      else
+        cv_space_.wait(lock, have_space);
       --q.space_waiters;
+      if (!spaced) {
+        // Deadline passed while blocked on backpressure: the request was
+        // never admitted, and it must not resolve late and silently.
+        {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.deadline_exceeded;
+          ++stats_.failed_requests;
+        }
+        obs::counter("runtime.deadline_exceeded").add();
+        return failed_future(DeadlineExceeded(
+            "deadline expired while blocked on a saturated queue"));
+      }
       REGLA_CHECK_MSG(!closed_,
                       "runtime shut down while a submission was blocked");
     }
@@ -241,9 +338,11 @@ std::future<Report> Runtime::enqueue(const Signature& sig, Payload payload,
     Pending pending;
     pending.payload = std::move(payload);
     pending.enqueued = Clock::now();
+    pending.deadline = abs_deadline;
     fut = pending.promise.get_future();
     q.pending.push_back(std::move(pending));
     q.pending_problems += k;
+    if (abs_deadline < q.min_deadline) q.min_deadline = abs_deadline;
     {
       std::lock_guard<std::mutex> slock(stats_mu_);
       ++stats_.requests;
@@ -292,6 +391,7 @@ Runtime::Batch Runtime::take_batch(Queue& q, FlushReason reason) {
 void Runtime::update_timer(Queue& q) {
   if (opt_.max_batch_delay.count() == 0) return;
   if (q.pending.empty()) {
+    q.min_deadline = Clock::time_point::max();
     if (q.timer_id != 0) {
       wheel_.cancel(q.timer_id);
       timer_owner_.erase(q.timer_id);
@@ -299,8 +399,12 @@ void Runtime::update_timer(Queue& q) {
     }
     return;
   }
-  const Clock::time_point deadline =
+  // A request whose own deadline lands before the coalescing window closes
+  // pulls the flush forward — waiting the full max_batch_delay would hand
+  // it to the workers already expired.
+  Clock::time_point deadline =
       q.pending.front().enqueued + opt_.max_batch_delay;
+  if (q.min_deadline < deadline) deadline = q.min_deadline;
   if (q.timer_id != 0 && q.timer_deadline == deadline) return;
   if (q.timer_id != 0) {
     wheel_.cancel(q.timer_id);
@@ -393,9 +497,135 @@ SolveReport Runtime::solve_one(Stream& s, const Signature& sig, Payload& p) {
   return {};
 }
 
+void Runtime::fail_deadline(Pending& req) {
+  bool delivered = true;
+  try {
+    req.promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+        "deadline exceeded before the result could be delivered")));
+  } catch (const std::future_error&) {
+    delivered = false;  // already satisfied on another path
+  }
+  if (!delivered) return;
+  record_latency(req.enqueued);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.deadline_exceeded;
+    ++stats_.failed_requests;
+  }
+  obs::counter("runtime.deadline_exceeded").add();
+}
+
+SolveReport Runtime::solve_cpu(Stream& s, const Signature& sig, Payload& p) {
+  // Graceful degradation: the cpu:: batched drivers, same in-place contract
+  // as the device path. Shows on the trace as its own span so a degraded
+  // period is visible at a glance.
+  obs::Span span("runtime.fallback-cpu", "runtime");
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.fallback_cpu;
+  }
+  obs::counter("runtime.fallback_cpu").add();
+  cpu::ThreadPool& pool = s.fallback();
+  cpu::BatchTiming t;
+  if (p.is_complex) {
+    t = cpu::batched_qr(p.ca, pool);
+  } else {
+    switch (sig.op) {
+      case planner::Op::qr:
+        t = cpu::batched_qr(p.a, pool);
+        break;
+      case planner::Op::lu:
+        t = cpu::batched_lu(p.a, /*pivot=*/false, pool);
+        break;
+      case planner::Op::solve_qr:
+        t = cpu::batched_solve_qr(p.a, p.b, pool);
+        break;
+      case planner::Op::solve_gj:
+        t = cpu::batched_solve_gj(p.a, p.b, /*pivot=*/false, pool);
+        break;
+      case planner::Op::least_squares: {
+        BatchF x(p.a.count(), sig.n, 1);
+        t = cpu::batched_least_squares(p.a, p.b, x, pool);
+        // Device contract: x lands in the first n entries of each b.
+        for (int k2 = 0; k2 < x.count(); ++k2)
+          std::copy_n(x.data() + static_cast<std::size_t>(k2) * x.stride(),
+                      sig.n,
+                      p.b.data() + static_cast<std::size_t>(k2) * p.b.stride());
+        break;
+      }
+    }
+  }
+  SolveReport r;
+  r.seconds = t.seconds;  // host seconds: the degraded path's real cost
+  return r;
+}
+
+SolveReport Runtime::solve_resilient(Stream& s, const Signature& sig,
+                                     Payload& p, SolveOutcome& outcome) {
+  if (opt_.max_retries <= 0 && !opt_.cpu_fallback)
+    return solve_one(s, sig, p);  // resilience off: zero-copy fast path
+
+  // Circuit open: skip the device entirely while it cools down.
+  if (opt_.cpu_fallback && Clock::now() < s.broken_until) {
+    outcome.on_cpu = true;
+    return solve_cpu(s, sig, p);
+  }
+
+  // A transient failure can abort mid-chain (tiled solves launch several
+  // kernels), leaving the payload partially factored — every retry must
+  // restart from pristine input.
+  const Payload snapshot = p;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      SolveReport r = solve_one(s, sig, p);
+      s.consecutive_failures = 0;
+      return r;
+    } catch (const TransientLaunchFailure&) {
+      p = snapshot;
+      if (attempt < opt_.max_retries) {
+        outcome.retries = attempt + 1;
+        {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.retries;
+        }
+        obs::counter("runtime.retries").add();
+        auto backoff = opt_.retry_backoff * (1ll << std::min(attempt, 20));
+        if (backoff > opt_.retry_backoff_cap) backoff = opt_.retry_backoff_cap;
+        if (backoff.count() > 0) {
+          obs::Span wait("runtime.retry-backoff", "runtime");
+          std::this_thread::sleep_for(backoff);
+        }
+        continue;
+      }
+      // Retries exhausted: trip the breaker, then degrade or give up.
+      if (opt_.circuit_break_after > 0 &&
+          ++s.consecutive_failures >= opt_.circuit_break_after) {
+        s.broken_until = Clock::now() + opt_.circuit_cooldown;
+        s.consecutive_failures = 0;
+        {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.circuit_opens;
+        }
+        obs::counter("runtime.circuit_opens").add();
+      }
+      if (opt_.cpu_fallback) {
+        outcome.on_cpu = true;
+        return solve_cpu(s, sig, p);
+      }
+      throw;
+    }
+  }
+}
+
 void Runtime::fulfill(Pending& req, const SolveReport& batch_report,
                       const Batch& batch, int offset,
-                      Clock::time_point started) {
+                      Clock::time_point started, const SolveOutcome& outcome) {
+  // End-to-end deadline enforcement, last gate: a result arriving past the
+  // request's deadline is discarded, never delivered late and silently.
+  if (Clock::now() > req.deadline) {
+    fail_deadline(req);
+    return;
+  }
   if (obs::trace_active()) {
     // The request's life between submit and flush start, on a shared
     // virtual track (a queue wait belongs to no thread).
@@ -419,11 +649,15 @@ void Runtime::fulfill(Pending& req, const SolveReport& batch_report,
   r.coalesced_requests = static_cast<int>(batch.requests.size());
   r.queue_seconds =
       std::chrono::duration<double>(started - req.enqueued).count();
+  r.retries = outcome.retries;
+  r.solved_on_cpu = outcome.on_cpu;
   r.a = std::move(req.payload.a);
   r.b = std::move(req.payload.b);
   r.ca = std::move(req.payload.ca);
   record_latency(req.enqueued);
   req.promise.set_value(std::move(r));
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  ++stats_.fulfilled;
 }
 
 void Runtime::execute(Batch& batch) {
@@ -431,6 +665,32 @@ void Runtime::execute(Batch& batch) {
   // assembly, the solver call chain (planner / engine spans nest inside),
   // and the scatter back to futures.
   obs::Span flush_span("runtime.flush", "runtime");
+  // Deadline gate, before any device work: a request already past its
+  // deadline resolves typed now instead of riding the batch.
+  {
+    const Clock::time_point now = Clock::now();
+    bool any_expired = false;
+    for (const Pending& req : batch.requests)
+      if (now > req.deadline) {
+        any_expired = true;
+        break;
+      }
+    if (any_expired) {
+      std::vector<Pending> live;
+      live.reserve(batch.requests.size());
+      batch.problems = 0;
+      for (Pending& req : batch.requests) {
+        if (now > req.deadline) {
+          fail_deadline(req);
+        } else {
+          batch.problems += req.payload.problems();
+          live.push_back(std::move(req));
+        }
+      }
+      batch.requests = std::move(live);
+    }
+    if (batch.requests.empty()) return;  // nothing left to execute
+  }
   // Acquire a worker stream (there are exactly `workers` of them, matching
   // the pool's helper threads, so this only blocks if outside work shares
   // the pool).
@@ -461,12 +721,14 @@ void Runtime::execute(Batch& batch) {
   obs::Span exec_span("runtime.execute", "runtime");
   bool poisoned = false;
   double device_seconds = 0;
+  SolveOutcome outcome;
   try {
     if (batch.requests.size() == 1) {
       // Single request: solve its payload in place, no assembly copy.
-      const SolveReport r = solve_one(*stream, batch.sig, batch.requests[0].payload);
+      const SolveReport r = solve_resilient(*stream, batch.sig,
+                                            batch.requests[0].payload, outcome);
       device_seconds += r.seconds;
-      fulfill(batch.requests[0], r, batch, 0, started);
+      fulfill(batch.requests[0], r, batch, 0, started, outcome);
     } else if (batch.requests.front().payload.is_complex) {
       BatchC big(batch.problems, batch.sig.m, batch.sig.n);
       int off = 0;
@@ -478,14 +740,15 @@ void Runtime::execute(Batch& batch) {
       Payload coalesced;
       coalesced.ca = std::move(big);
       coalesced.is_complex = true;
-      const SolveReport r = solve_one(*stream, batch.sig, coalesced);
+      const SolveReport r = solve_resilient(*stream, batch.sig, coalesced,
+                                            outcome);
       device_seconds += r.seconds;
       off = 0;
       for (Pending& req : batch.requests) {
         std::copy_n(coalesced.ca.data() + off * coalesced.ca.stride(),
                     req.payload.ca.size(), req.payload.ca.data());
         const int k = req.payload.ca.count();
-        fulfill(req, r, batch, off, started);
+        fulfill(req, r, batch, off, started, outcome);
         off += k;
       }
     } else {
@@ -506,7 +769,8 @@ void Runtime::execute(Batch& batch) {
       Payload coalesced;
       coalesced.a = std::move(big_a);
       coalesced.b = std::move(big_b);
-      const SolveReport r = solve_one(*stream, batch.sig, coalesced);
+      const SolveReport r = solve_resilient(*stream, batch.sig, coalesced,
+                                            outcome);
       device_seconds += r.seconds;
       off = 0;
       for (Pending& req : batch.requests) {
@@ -516,7 +780,7 @@ void Runtime::execute(Batch& batch) {
         if (coalesced.b.count() > 0)
           std::copy_n(coalesced.b.data() + off * coalesced.b.stride(),
                       req.payload.b.size(), req.payload.b.data());
-        fulfill(req, r, batch, off, started);
+        fulfill(req, r, batch, off, started, outcome);
         off += k;
       }
     }
@@ -535,25 +799,31 @@ void Runtime::execute(Batch& batch) {
     }
     for (Pending& req : batch.requests) {
       try {
-        const SolveReport r = solve_one(*stream, batch.sig, req.payload);
+        SolveOutcome solo_outcome;
+        const SolveReport r =
+            solve_resilient(*stream, batch.sig, req.payload, solo_outcome);
         device_seconds += r.seconds;
         Batch solo;
         solo.sig = batch.sig;
         solo.reason = batch.reason;
         solo.problems = req.payload.problems();
         solo.requests.resize(1);  // only for the counts in the Report
-        fulfill(req, r, solo, 0, started);
+        fulfill(req, r, solo, 0, started, solo_outcome);
       } catch (...) {
-        record_latency(req.enqueued);
+        bool delivered = true;
         try {
           req.promise.set_exception(std::current_exception());
         } catch (const std::future_error&) {
           // Already satisfied: the coalesced pass fulfilled this request
           // before a later fulfill() threw mid-scatter. The requester has
-          // its result; nothing to deliver.
+          // its result; nothing to deliver — and it was already counted.
+          delivered = false;
         }
-        std::lock_guard<std::mutex> slock(stats_mu_);
-        ++stats_.failed_requests;
+        if (delivered) {
+          record_latency(req.enqueued);
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.failed_requests;
+        }
       }
     }
   }
@@ -648,6 +918,11 @@ void Runtime::export_stats() const {
                static_cast<double>(stats_.isolation_retries));
   ss::stat_set("runtime.failed_requests",
                static_cast<double>(stats_.failed_requests));
+  ss::stat_set("runtime.fulfilled", static_cast<double>(stats_.fulfilled));
+  // The resilience event counts (runtime.retries, runtime.shed,
+  // runtime.deadline_exceeded, runtime.fallback_cpu, runtime.circuit_opens)
+  // are obs Counters, incremented where the events happen; registering a
+  // gauge under the same name would be a type collision in the obs registry.
   ss::stat_set("runtime.device_seconds", stats_.device_seconds);
   ss::stat_set("runtime.p50_ms", stats_.p50_ms());
   ss::stat_set("runtime.p99_ms", stats_.p99_ms());

@@ -49,6 +49,7 @@
 
 #include "cpu/thread_pool.h"
 #include "planner/solver.h"
+#include "runtime/errors.h"
 #include "runtime/timer_wheel.h"
 
 namespace regla::runtime {
@@ -94,9 +95,27 @@ struct Report : SolveReport {
   int coalesced_problems = 0;  ///< device-batch size this request rode in
   int coalesced_requests = 0;  ///< submissions merged into that batch
   double queue_seconds = 0;    ///< submit -> flush start
+  /// Device launch attempts the producing solve retried through (0 = first
+  /// attempt succeeded). Batch-level: every rider of the batch sees it.
+  int retries = 0;
+  /// The result came from the cpu:: solvers (graceful degradation after the
+  /// device stream was circuit-broken or retries were exhausted).
+  bool solved_on_cpu = false;
   BatchF a;                    ///< the request's matrices, results in place
   BatchF b;                    ///< rhs / solutions (solve and least-squares)
   BatchC ca;                   ///< complex payload (c64 QR submissions)
+};
+
+/// Per-request submission knobs (the coalescing key fields live in
+/// core::SolveOptions; these do not affect which batch a request joins).
+struct SubmitOptions {
+  core::SolveOptions solve;
+  /// Completion deadline, measured from submit(). Zero inherits
+  /// RuntimeOptions::default_deadline; if that is zero too, no deadline.
+  /// Enforced end to end: a request past its deadline resolves with
+  /// DeadlineExceeded — in the queue, before execution, or at delivery —
+  /// never with a silently late Report.
+  std::chrono::microseconds deadline{0};
 };
 
 struct RuntimeOptions {
@@ -132,6 +151,31 @@ struct RuntimeOptions {
   /// injection) — the runtime's isolation retry then re-runs per request.
   std::function<SolveReport(const Signature&, BatchF& a, BatchF& b)>
       solve_override;
+
+  // --- Resilience (all off by default: zero overhead, legacy behavior) ----
+  /// Device attempts per solve beyond the first for transient launch
+  /// failures (simt::TransientLaunchFailure). 0 disables retry; any other
+  /// exception type is never retried.
+  int max_retries = 0;
+  /// Exponential backoff before retry k sleeps retry_backoff * 2^k, capped.
+  std::chrono::microseconds retry_backoff{50};
+  std::chrono::microseconds retry_backoff_cap{5000};
+  /// Consecutive exhausted-retry episodes that open a stream's circuit
+  /// breaker, and how long it stays open (device attempts skipped).
+  int circuit_break_after = 2;
+  std::chrono::milliseconds circuit_cooldown{50};
+  /// Graceful degradation: when retries are exhausted (or the stream's
+  /// circuit is open), solve on the cpu:: batched solvers instead of
+  /// failing the futures. Numerics agree with the device path; cpu results
+  /// report not_solved empty (the CPU drivers do not flag zero pivots).
+  bool cpu_fallback = false;
+  /// Admission control: when a signature queue is full, resolve the new
+  /// request's future with QueueSaturated instead of blocking the
+  /// submitter. try_submit is unaffected (still returns nullopt).
+  bool shed_on_saturation = false;
+  /// Deadline applied to requests that do not carry their own
+  /// (SubmitOptions::deadline). Zero = none.
+  std::chrono::microseconds default_deadline{0};
 };
 
 /// Cumulative counters, also exported to simt::stats as "runtime.*".
@@ -144,6 +188,20 @@ struct RuntimeStats {
   std::uint64_t flushes[kNumFlushReasons] = {};
   std::uint64_t isolation_retries = 0;  ///< requests re-run solo after a batch exception
   std::uint64_t failed_requests = 0;    ///< futures resolved with an exception
+                                        ///< (typed resilience errors included)
+  // Resilience accounting. Every future issued resolves exactly once, so
+  //   futures issued == fulfilled + failed_requests
+  // always holds; `shed` and `deadline_exceeded` are the typed subsets of
+  // failed_requests (QueueSaturated / DeadlineExceeded), and whatever
+  // remains failed with an untyped solve exception. `requests` keeps its
+  // meaning of queue-admitted submissions: shed futures (and blocking
+  // submits whose deadline expired waiting for space) were never admitted.
+  std::uint64_t fulfilled = 0;          ///< futures resolved with a Report
+  std::uint64_t retries = 0;            ///< device launch attempts retried
+  std::uint64_t shed = 0;               ///< futures failed QueueSaturated at admission
+  std::uint64_t deadline_exceeded = 0;  ///< futures failed DeadlineExceeded
+  std::uint64_t fallback_cpu = 0;       ///< solves degraded to the cpu:: path
+  std::uint64_t circuit_opens = 0;      ///< stream circuit-breaker trips
   /// Simulated device time consumed by executed batches (the launches'
   /// SolveReport::seconds summed) — the device-side cost coalescing
   /// amortizes, independent of how fast the host simulates it.
@@ -198,6 +256,12 @@ class Runtime {
   std::future<Report> submit(planner::Op op, BatchC a,
                              const core::SolveOptions& opts = {});
 
+  /// Per-request control (deadline); the SubmitOptions forms of the above.
+  std::future<Report> submit(planner::Op op, BatchF a, BatchF b,
+                             const SubmitOptions& sopts);
+  std::future<Report> submit(planner::Op op, BatchC a,
+                             const SubmitOptions& sopts);
+
   /// Like submit() but never blocks: nullopt when the queue is full.
   std::optional<std::future<Report>> try_submit(
       planner::Op op, BatchF a, BatchF b = {},
@@ -232,6 +296,8 @@ class Runtime {
     Payload payload;
     std::promise<Report> promise;
     Clock::time_point enqueued;
+    /// Absolute completion deadline; time_point::max() = none.
+    Clock::time_point deadline = Clock::time_point::max();
   };
   struct Queue {
     Signature sig;
@@ -241,6 +307,11 @@ class Runtime {
     std::uint64_t timer_id = 0;  ///< armed wheel timer, 0 = none
     Clock::time_point timer_deadline{};  ///< deadline the armed timer tracks
     int space_waiters = 0;     ///< submitters blocked on backpressure
+    /// Earliest per-request deadline among pending (max() = none). Updated
+    /// incrementally on push and reset when the queue drains; after a
+    /// partial flush it may be stale-early, which only costs an early
+    /// deadline-reason flush, never a late one.
+    Clock::time_point min_deadline = Clock::time_point::max();
   };
   struct Stream;  // Device + Solver, defined in runtime.cc
   struct Batch {
@@ -251,7 +322,8 @@ class Runtime {
   };
 
   std::future<Report> enqueue(const Signature& sig, Payload payload,
-                              bool blocking, bool* rejected);
+                              bool blocking, bool* rejected,
+                              std::chrono::microseconds deadline = {});
   /// Pop whole requests from `q` up to the flush cap (requires mu_ held).
   Batch take_batch(Queue& q, FlushReason reason);
   /// Re-arm or cancel q's deadline timer after a mutation (requires mu_).
@@ -259,8 +331,23 @@ class Runtime {
   void launch(Batch&& batch);
   void execute(Batch& batch);
   SolveReport solve_one(Stream& s, const Signature& sig, Payload& p);
+  /// What a resilient solve did beyond producing the report.
+  struct SolveOutcome {
+    int retries = 0;
+    bool on_cpu = false;
+  };
+  /// solve_one wrapped in the resilience policy: bounded backoff retry on
+  /// TransientLaunchFailure, circuit breaker per stream, optional CPU
+  /// fallback. Throws only when the policy is out of options.
+  SolveReport solve_resilient(Stream& s, const Signature& sig, Payload& p,
+                              SolveOutcome& outcome);
+  /// Graceful degradation: the same contract as solve_one, on cpu:: solvers.
+  SolveReport solve_cpu(Stream& s, const Signature& sig, Payload& p);
+  /// Resolve a request's future with DeadlineExceeded (counts + latency).
+  void fail_deadline(Pending& req);
   void fulfill(Pending& req, const SolveReport& batch_report,
-               const Batch& batch, int offset, Clock::time_point started);
+               const Batch& batch, int offset, Clock::time_point started,
+               const SolveOutcome& outcome);
   void dispatcher_loop();
   void record_batch_stats(const Batch& batch, double device_seconds);
   void record_latency(Clock::time_point enqueued);

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "simt/fault.h"
+
 namespace regla::simt {
 
 struct DeviceConfig {
@@ -77,6 +79,10 @@ struct DeviceConfig {
   double dram_overlap_factor = 0.6;
   /// Use the 22-mantissa-bit hardware division/sqrt (--use_fast_math).
   bool fast_math = true;
+  /// Deterministic per-launch fault hooks (simt/fault.h). All-zero rates
+  /// (the default) make every hook a no-op. Excluded from the planner's
+  /// config fingerprint: plans do not depend on how hostile the device is.
+  FaultInjection faults;
 
   // --- Derived quantities -------------------------------------------------
   double peak_sp_gflops() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <sstream>
 #include <thread>
 
 #include "common/error.h"
@@ -112,6 +113,39 @@ LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
   obs::Span launch_span("engine.launch", "engine");
   const double span_t0 = obs::trace_now_us();
 
+  // Fault hooks: decided up front, deterministically in (seed, ordinal), so
+  // a hostile run replays exactly. The failure throw happens before any
+  // block executes — the payload is untouched and the launch is retry-safe.
+  const std::uint64_t ordinal = launch_ordinal_++;
+  int poison_block = -1;
+  bool spike = false;
+  if (cfg_.faults.any()) {
+    const FaultInjection& fi = cfg_.faults;
+    ++fault_stats_.launches;
+    if (fi.launch_failure_rate > 0 &&
+        detail::fault_draw(fi.seed, ordinal, 0) < fi.launch_failure_rate) {
+      ++fault_stats_.launch_failures;
+      obs::counter("engine.fault.launch_failures").add();
+      std::ostringstream os;
+      os << "injected transient launch failure: kernel '" << spec.name
+         << "' launch #" << ordinal << " (seed " << fi.seed << ")";
+      throw TransientLaunchFailure(os.str());
+    }
+    if (fi.poisoned_result_rate > 0 &&
+        detail::fault_draw(fi.seed, ordinal, 1) < fi.poisoned_result_rate) {
+      poison_block =
+          static_cast<int>(ordinal % static_cast<std::uint64_t>(spec.blocks));
+      ++fault_stats_.poisoned_launches;
+      obs::counter("engine.fault.poisoned_launches").add();
+    }
+    if (fi.latency_spike_rate > 0 &&
+        detail::fault_draw(fi.seed, ordinal, 2) < fi.latency_spike_rate) {
+      spike = true;
+      ++fault_stats_.latency_spikes;
+      obs::counter("engine.fault.latency_spikes").add();
+    }
+  }
+
   std::vector<BlockRun> runs(spec.blocks);
 
   const int configured = host_workers_ > 0
@@ -120,7 +154,10 @@ LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
   const int workers = std::clamp(configured, 1, spec.blocks);
 
   if (workers == 1) {
-    for (int b = 0; b < spec.blocks; ++b) runs[b] = run_block(cfg_, spec, body, b);
+    for (int b = 0; b < spec.blocks; ++b) {
+      if (b == poison_block) continue;  // poisoned: silently skipped
+      runs[b] = run_block(cfg_, spec, body, b);
+    }
   } else {
     // Persistent pool, sized to the configured (unclamped) width so launches
     // of different block counts share one set of threads instead of
@@ -130,8 +167,10 @@ LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
     if (!pool_) pool_ = std::make_unique<cpu::ThreadPool>(std::max(1, configured));
     std::atomic<int> next{0};
     pool_->parallel_for(workers, [&](int) {
-      for (int b = next.fetch_add(1); b < spec.blocks; b = next.fetch_add(1))
+      for (int b = next.fetch_add(1); b < spec.blocks; b = next.fetch_add(1)) {
+        if (b == poison_block) continue;  // poisoned: silently skipped
         runs[b] = run_block(cfg_, spec, body, b);
+      }
     });
   }
 
@@ -179,6 +218,7 @@ LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
     obs::counter("engine.addr_truncations").add(res.totals.addr_truncations);
 
   res.chip_cycles = chip_cycles(cfg_, block_times, k_resident, dram_bytes);
+  if (spike) res.chip_cycles *= cfg_.faults.latency_spike_multiplier;
   res.seconds = res.chip_cycles / (cfg_.clock_ghz * 1e9);
   double sum = 0;
   for (double t : block_times) sum += t;

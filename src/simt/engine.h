@@ -10,6 +10,7 @@
 
 #include "simt/block_ctx.h"
 #include "simt/device_config.h"
+#include "simt/fault.h"
 #include "simt/occupancy.h"
 #include "simt/stats.h"
 
@@ -81,7 +82,17 @@ class Device {
   /// Run `body` for every thread of every block; returns full timing and
   /// instrumentation. Functionally exact: all side effects on host memory
   /// wrapped by ctx.global() have happened when this returns.
+  ///
+  /// Fault hooks (config().faults, simt/fault.h): may throw
+  /// TransientLaunchFailure *before any block runs* (payload untouched,
+  /// retry-safe), stretch the reported timing, or silently skip one block
+  /// (poisoned result). Decisions are deterministic in (seed, launch
+  /// ordinal); the ordinal advances on every launch() call, thrown or not.
   LaunchResult launch(const LaunchSpec& spec, const KernelFn& body);
+
+  /// What the fault hooks have injected on this device so far.
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  void reset_fault_stats() { fault_stats_ = {}; }
 
   /// Number of host worker threads used to run independent blocks
   /// (defaults to std::thread::hardware_concurrency()). Changing the count
@@ -92,6 +103,8 @@ class Device {
  private:
   DeviceConfig cfg_;
   int host_workers_ = 0;  // 0 = auto
+  std::uint64_t launch_ordinal_ = 0;  ///< fault-stream position (one launch at a time)
+  FaultStats fault_stats_;
   /// Persistent host workers for multi-block launches, built lazily on the
   /// first launch that needs them and reused across launches — spawning
   /// fresh std::threads per launch sat directly on the serving hot path.

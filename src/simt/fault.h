@@ -1,0 +1,90 @@
+// Deterministic fault injection for the simulated device.
+//
+// Real GPUs fail in ways the model never predicts: a launch is rejected by
+// the driver, a thermal event stretches a kernel 10x, an ECC error silently
+// corrupts a block's output. A serving layer that assumes every launch
+// succeeds cannot be trusted under load, so the simulator can be made
+// hostile on demand: FaultInjection (a DeviceConfig field) gives every
+// launch a seeded, per-launch-deterministic chance of
+//
+//   - failing outright  -> Device::launch throws TransientLaunchFailure
+//     before any block runs (the payload is untouched, as with a real
+//     launch-queue rejection);
+//   - a latency spike   -> the reported chip_cycles/seconds are multiplied
+//     by latency_spike_multiplier (results are still correct);
+//   - a poisoned result -> one block's execution is silently skipped, so its
+//     problems come back unmodified while the launch reports success — the
+//     simulator's stand-in for silent data corruption.
+//
+// Determinism: the decision for launch #k on a device depends only on
+// (seed, k), via a splitmix64 stream — not on wall clock, host threads, or
+// allocation addresses — so a failing run replays exactly under a debugger
+// or a sanitizer. Two devices with the same seed fail on the same launch
+// ordinals.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace regla::simt {
+
+/// Thrown by Device::launch when an injected (or, one day, real) transient
+/// launch failure occurs. Retryable by contract: the launch had no side
+/// effects. The serving runtime's typed error taxonomy re-exports this as
+/// runtime::TransientLaunchFailure.
+class TransientLaunchFailure : public regla::Error {
+ public:
+  explicit TransientLaunchFailure(const std::string& what)
+      : regla::Error(what) {}
+};
+
+/// Per-launch fault probabilities; all zero (the default) disables every
+/// hook and costs one branch per launch.
+struct FaultInjection {
+  std::uint64_t seed = 0x5eed;
+  /// Probability a launch throws TransientLaunchFailure before running.
+  double launch_failure_rate = 0;
+  /// Probability a (successful) launch's reported time is stretched.
+  double latency_spike_rate = 0;
+  double latency_spike_multiplier = 8.0;
+  /// Probability one block of a (successful) launch is silently skipped.
+  double poisoned_result_rate = 0;
+
+  bool any() const {
+    return launch_failure_rate > 0 || latency_spike_rate > 0 ||
+           poisoned_result_rate > 0;
+  }
+};
+
+/// What the hooks actually did on a device, for tests and reconciliation.
+struct FaultStats {
+  std::uint64_t launches = 0;          ///< launch() calls seen by the hooks
+  std::uint64_t launch_failures = 0;   ///< TransientLaunchFailure thrown
+  std::uint64_t latency_spikes = 0;
+  std::uint64_t poisoned_launches = 0;
+};
+
+namespace detail {
+
+/// splitmix64: the de-facto seeding PRNG — one multiply-xor-shift round per
+/// draw, full 64-bit avalanche. Good enough to turn (seed, ordinal) into an
+/// independent uniform draw.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform [0, 1) draw #`salt` for launch #`ordinal` under `seed`.
+inline double fault_draw(std::uint64_t seed, std::uint64_t ordinal,
+                         std::uint64_t salt) {
+  const std::uint64_t bits =
+      splitmix64(splitmix64(seed ^ (ordinal * 0x2545f4914f6cdd1dull)) + salt);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;  // 53 mantissa bits
+}
+
+}  // namespace detail
+
+}  // namespace regla::simt
