@@ -10,25 +10,6 @@
 #include "core/per_block_ext.h"
 #include "model/per_block_model.h"
 
-namespace {
-
-void fill_spd(regla::BatchF& batch, std::uint64_t seed) {
-  const int n = batch.rows();
-  for (int k = 0; k < batch.count(); ++k) {
-    regla::Rng rng(seed + k);
-    regla::Matrix<float> b(n, n);
-    regla::fill_uniform(b.view(), rng);
-    for (int j = 0; j < n; ++j)
-      for (int i = 0; i < n; ++i) {
-        float acc = (i == j) ? static_cast<float>(n) : 0.0f;
-        for (int l = 0; l < n; ++l) acc += b(i, l) * b(j, l);
-        batch.at(k, i, j) = acc;
-      }
-  }
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace regla;
   bench::parse_smoke(argc, argv);

@@ -5,8 +5,8 @@
 // 192x96 x128 -> 98 vs 27 (3.6x).
 #include "bench_util.h"
 #include "common/generators.h"
-#include "core/batched.h"
 #include "cpu/batched.h"
+#include "ops/batched_compat.h"
 #include "model/flops.h"
 
 int main(int argc, char** argv) {
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     const int count = bench::smoke_mode() ? std::min(c.count, 32) : c.count;
     BatchC gpu_batch(count, c.m, c.n);
     fill_uniform(gpu_batch, c.m + c.n);
-    const auto gpu = core::batched_qr(dev, gpu_batch);
+    const auto gpu = ops::batched_qr(dev, gpu_batch);
 
     const int cpu_count = std::min(c.count, bench::pick(64, 8));
     BatchC cpu_batch(cpu_count, c.m, c.n);

@@ -36,6 +36,10 @@ case "$PRESET" in
 esac
 
 cd "$dir/bench"
+# Registry introspection: must list every op the binary registered (a
+# dead-stripped registration TU would show up as a missing row here).
+echo "== bench_fig12_solvers --list-ops"
+timeout 60 ./bench_fig12_solvers --list-ops
 for b in "${BENCHES[@]}"; do
   echo "== $b --smoke"
   # `timeout` turns a hung bench into a failure instead of a stuck gate.

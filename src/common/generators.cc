@@ -1,6 +1,7 @@
 #include "common/generators.h"
 
 #include <cmath>
+#include <vector>
 
 namespace regla {
 
@@ -72,6 +73,22 @@ void fill_identity(MatrixView<float> a) {
     for (int i = 0; i < a.rows(); ++i) a(i, j) = (i == j) ? 1.0f : 0.0f;
 }
 
+void fill_spd(MatrixView<float> a, Rng& rng) {
+  REGLA_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  std::vector<float> b(static_cast<std::size_t>(n) * n);
+  for (float& v : b) v = rng.uniform(-1.0f, 1.0f);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      float acc = 0.0f;
+      for (int k = 0; k < n; ++k)
+        acc += b[static_cast<std::size_t>(i) * n + k] *
+               b[static_cast<std::size_t>(j) * n + k];
+      a(i, j) = acc * inv_n + (i == j ? 1.0f : 0.0f);
+    }
+}
+
 namespace {
 template <typename Batch, typename Fill>
 void fill_batch(Batch& batch, std::uint64_t seed, Fill fill) {
@@ -96,6 +113,9 @@ void fill_diag_dominant(BatchF& batch, std::uint64_t seed) {
 void fill_diag_dominant(BatchC& batch, std::uint64_t seed) {
   fill_batch(batch, seed,
              [](MatrixView<std::complex<float>> m, Rng& r) { fill_diag_dominant(m, r); });
+}
+void fill_spd(BatchF& batch, std::uint64_t seed) {
+  fill_batch(batch, seed, [](MatrixView<float> m, Rng& r) { fill_spd(m, r); });
 }
 
 }  // namespace regla

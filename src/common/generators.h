@@ -35,10 +35,15 @@ void fill_hermitian(MatrixView<std::complex<float>> a, Rng& rng);
 /// Identity.
 void fill_identity(MatrixView<float> a);
 
+/// Random symmetric positive definite (A = B B^T / n + I): every eigenvalue
+/// at least 1, entries O(1), so unpivoted Cholesky is well conditioned.
+void fill_spd(MatrixView<float> a, Rng& rng);
+
 /// Whole-batch versions with per-problem decorrelated streams.
 void fill_uniform(BatchF& batch, std::uint64_t seed);
 void fill_uniform(BatchC& batch, std::uint64_t seed);
 void fill_diag_dominant(BatchF& batch, std::uint64_t seed);
 void fill_diag_dominant(BatchC& batch, std::uint64_t seed);
+void fill_spd(BatchF& batch, std::uint64_t seed);
 
 }  // namespace regla

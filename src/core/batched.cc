@@ -1,40 +1,6 @@
 #include "core/batched.h"
 
-#include "common/error.h"
-#include "planner/planner.h"
-
 namespace regla::core {
-
-namespace {
-
-BatchedOutcome from_gpu(Approach a, const GpuBatchResult& r) {
-  return BatchedOutcome{a, r.launch.seconds, r.nominal_flops};
-}
-
-/// The process-wide planner behind the free-function API. Each regla::Solver
-/// owns its own planner; these wrappers share one so repeated free-function
-/// calls still hit a warm plan cache. The device configuration is part of
-/// every cache key, so multiple Devices can share it safely.
-planner::Planner& shared_planner() {
-  static planner::Planner p;
-  return p;
-}
-
-planner::Plan plan_for(regla::simt::Device& dev, planner::Op op, int m, int n,
-                       int batch, planner::Dtype dtype) {
-  return shared_planner().plan(dev.config(),
-                               planner::ProblemDesc{op, m, n, batch, dtype});
-}
-
-/// The per-block knobs for a planned launch; an explicit user thread count
-/// overrides the planner's choice.
-BlockOptions block_opts(const planner::Plan& plan, const SolveOptions& opts) {
-  BlockOptions b = opts.block();
-  if (b.threads == 0) b.threads = plan.threads;
-  return b;
-}
-
-}  // namespace
 
 Approach choose_approach(const regla::simt::DeviceConfig& cfg, int m, int n,
                          int words_per_elem) {
@@ -43,100 +9,6 @@ Approach choose_approach(const regla::simt::DeviceConfig& cfg, int m, int n,
     return Approach::per_thread;
   if (fits_one_block(cfg, m, n, words_per_elem)) return Approach::per_block;
   return Approach::tiled;
-}
-
-BatchedOutcome batched_qr(regla::simt::Device& dev, BatchF& batch, BatchF* taus,
-                          const SolveOptions& opts) {
-  const int m = batch.rows(), n = batch.cols();
-  const auto plan =
-      plan_for(dev, planner::Op::qr, m, n, batch.count(), planner::Dtype::f32);
-  switch (plan.approach) {
-    case Approach::per_thread:
-      return from_gpu(Approach::per_thread, qr_per_thread(dev, batch, taus));
-    case Approach::per_block:
-      return from_gpu(Approach::per_block,
-                      qr_per_block(dev, batch, taus, block_opts(plan, opts)));
-    case Approach::tiled: {
-      REGLA_CHECK_MSG(taus == nullptr,
-                      "the tiled QR path retains only R, not the reflectors");
-      BatchF r;
-      const TiledResult t = tiled_qr_r(dev, batch, r);
-      for (int k = 0; k < batch.count(); ++k)
-        for (int j = 0; j < n; ++j)
-          for (int i = 0; i < n; ++i) batch.at(k, i, j) = r.at(k, i, j);
-      return BatchedOutcome{Approach::tiled, t.seconds, t.nominal_flops};
-    }
-  }
-  REGLA_CHECK(false);
-  return {};
-}
-
-BatchedOutcome batched_qr(regla::simt::Device& dev, BatchC& batch, BatchC* taus,
-                          const SolveOptions& opts) {
-  const int m = batch.rows(), n = batch.cols();
-  const auto plan =
-      plan_for(dev, planner::Op::qr, m, n, batch.count(), planner::Dtype::c64);
-  switch (plan.approach) {
-    case Approach::per_thread:  // no complex per-thread kernel is ever planned
-    case Approach::per_block:
-      return from_gpu(Approach::per_block,
-                      qr_per_block(dev, batch, taus, block_opts(plan, opts)));
-    case Approach::tiled: {
-      REGLA_CHECK_MSG(taus == nullptr,
-                      "the tiled QR path retains only R, not the reflectors");
-      BatchC r;
-      const TiledResult t = tiled_qr_r(dev, batch, r);
-      for (int k = 0; k < batch.count(); ++k)
-        for (int j = 0; j < n; ++j)
-          for (int i = 0; i < n; ++i) batch.at(k, i, j) = r.at(k, i, j);
-      return BatchedOutcome{Approach::tiled, t.seconds, t.nominal_flops};
-    }
-  }
-  REGLA_CHECK(false);
-  return {};
-}
-
-BatchedOutcome batched_lu(regla::simt::Device& dev, BatchF& batch,
-                          const SolveOptions& opts) {
-  const int n = batch.cols();
-  REGLA_CHECK(batch.rows() == n);
-  const auto plan =
-      plan_for(dev, planner::Op::lu, n, n, batch.count(), planner::Dtype::f32);
-  if (plan.approach == Approach::per_thread)
-    return from_gpu(Approach::per_thread, lu_per_thread(dev, batch));
-  return from_gpu(Approach::per_block,
-                  lu_per_block(dev, batch, nullptr, block_opts(plan, opts)));
-}
-
-BatchedOutcome batched_solve(regla::simt::Device& dev, BatchF& a, BatchF& b,
-                             const SolveOptions& opts) {
-  const int n = a.cols();
-  const auto op = opts.method == SolveMethod::gauss_jordan
-                      ? planner::Op::solve_gj
-                      : planner::Op::solve_qr;
-  const auto plan = plan_for(dev, op, n, n, a.count(), planner::Dtype::f32);
-  if (plan.approach == Approach::per_thread)
-    return from_gpu(Approach::per_thread, gj_solve_per_thread(dev, a, b));
-  if (op == planner::Op::solve_gj)
-    return from_gpu(Approach::per_block,
-                    gj_solve_per_block(dev, a, b, nullptr, block_opts(plan, opts)));
-  return from_gpu(Approach::per_block,
-                  qr_solve_per_block(dev, a, b, block_opts(plan, opts)));
-}
-
-BatchedOutcome batched_least_squares(regla::simt::Device& dev, BatchF& a,
-                                     BatchF& b, const SolveOptions& opts) {
-  const auto plan = plan_for(dev, planner::Op::least_squares, a.rows(), a.cols(),
-                             a.count(), planner::Dtype::f32);
-  if (plan.approach == Approach::tiled) {
-    BatchF x;
-    const TiledResult t = tiled_least_squares(dev, a, b, x);
-    for (int k = 0; k < b.count(); ++k)
-      for (int i = 0; i < a.cols(); ++i) b.at(k, i, 0) = x.at(k, i, 0);
-    return BatchedOutcome{Approach::tiled, t.seconds, t.nominal_flops};
-  }
-  return from_gpu(Approach::per_block,
-                  ls_per_block(dev, a, b, block_opts(plan, opts)));
 }
 
 }  // namespace regla::core

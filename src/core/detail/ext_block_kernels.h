@@ -350,6 +350,71 @@ void normal_eq_solve_block(simt::BlockCtx& ctx, const NormalEqArgs<S>& arg) {
   for (int i = t; i < n; i += p) gw.st(vbase + i, acc_sh.ld(i));
 }
 
+// --- forward triangular solve (L x = b), column cyclic ----------------------
+
+struct TrsmBlockArgs {
+  const float* l = nullptr;  ///< count x (n x n), L in the lower triangle
+  float* b = nullptr;        ///< count x n right-hand sides, replaced by x
+  int n = 0;
+  int count = 0;
+  int* singular = nullptr;   ///< optional zero-diagonal flags
+};
+
+/// One problem per block; thread t owns columns j === t (mod p) of L in its
+/// registers (the normal-eq layout, lower triangle instead of upper). Each
+/// forward step has column c's owner divide by L(c,c) and publish x_c; every
+/// thread then retires its own columns' updates of the shared residual.
+inline void trsm_lower_block(simt::BlockCtx& ctx, const TrsmBlockArgs& arg) {
+  const int k = ctx.block();
+  if (k >= arg.count) return;
+  const int n = arg.n, p = ctx.nthreads(), t = ctx.tid();
+  const int cpt = (n + p - 1) / p;
+
+  auto gl = ctx.global(arg.l);
+  auto gb = ctx.global(arg.b);
+  const std::ptrdiff_t lbase = static_cast<std::ptrdiff_t>(k) * n * n;
+  const std::ptrdiff_t bbase = static_cast<std::ptrdiff_t>(k) * n;
+
+  auto acc_sh = ctx.shared<float>(n);    // running residuals, then x
+  auto flag_sh = ctx.shared<float>(1);   // zero-diagonal marker
+
+  ctx.tag(simt::OpTag::load);
+  auto L = ctx.reg_tile<gfloat>(n, cpt);
+  for (int jj = 0; jj < cpt; ++jj) {
+    const int gj = t + jj * p;
+    if (gj >= n) continue;
+    for (int i = gj; i < n; ++i)
+      L.set(i, jj, gfloat(gl.ld(lbase + i + static_cast<std::ptrdiff_t>(gj) * n)));
+  }
+  for (int i = t; i < n; i += p) acc_sh.st(i, gb.ld(bbase + i));
+  if (t == 0) flag_sh.st(0, gfloat(0.0f));
+  ctx.sync();
+
+  // Forward: x_c = acc_c / L(c,c); acc_i -= L(i,c) x_c for i > c.
+  ctx.tag(simt::OpTag::other);
+  for (int c = 0; c < n; ++c) {
+    if (t == c % p) {
+      const int jloc = c / p;
+      const gfloat d = L.get(c, jloc);
+      gfloat xc(0.0f);
+      if (d.value() != 0.0f) {
+        xc = div_scalar(acc_sh.ld(c), d);
+      } else {
+        flag_sh.st(0, gfloat(1.0f));
+      }
+      acc_sh.st(c, xc);
+      for (int i = c + 1; i < n; ++i)
+        acc_sh.st(i, acc_sh.ld(i) - L.get(i, jloc) * xc);
+    }
+    ctx.sync();
+  }
+
+  ctx.tag(simt::OpTag::store);
+  for (int i = t; i < n; i += p) gb.st(bbase + i, acc_sh.ld(i));
+  if (arg.singular != nullptr && t == 0 && flag_sh.ld(0).value() != 0.0f)
+    ctx.global(arg.singular).st(k, 1);
+}
+
 // --- apply Q^H to new right-hand sides (ormqr-style), 2D cyclic -------------
 
 template <typename S>

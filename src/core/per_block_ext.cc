@@ -29,8 +29,41 @@ GpuBatchResult cholesky_per_block(regla::simt::Device& dev, BatchF& batch,
   auto res = dev.launch(spec, [arg](simt::BlockCtx& ctx) {
     detail::cholesky_block_2d(ctx, arg);
   });
-  const double flops = static_cast<double>(n) * n * n / 3.0 * batch.count();
-  return GpuBatchResult{res, flops};
+  return GpuBatchResult{res, model::cholesky_flops(n) * batch.count()};
+}
+
+GpuBatchResult trsm_lower_per_block(regla::simt::Device& dev, const BatchF& l,
+                                    BatchF& b, std::vector<int>* singular,
+                                    int threads) {
+  const int n = l.cols();
+  REGLA_CHECK(l.rows() == n);
+  REGLA_CHECK(b.count() == l.count() && b.rows() == n && b.cols() == 1);
+  if (threads == 0) threads = n <= 64 ? 64 : 256;
+  const int cpt = (n + threads - 1) / threads;
+  REGLA_CHECK_MSG(n * cpt <= simt::kMaxTileElems,
+                  "trsm: n too large for one block");
+  if (singular != nullptr) singular->assign(l.count(), 0);
+
+  detail::TrsmBlockArgs arg;
+  arg.l = l.data();
+  arg.b = b.data();
+  arg.n = n;
+  arg.count = l.count();
+  arg.singular = singular ? singular->data() : nullptr;
+
+  simt::LaunchSpec spec;
+  spec.blocks = l.count();
+  spec.threads = threads;
+  // The column-cyclic tile averages n*cpt/2 live words per thread (lower
+  // triangle), as in the normal-eq solve.
+  spec.regs_per_thread =
+      std::min(dev.config().max_regs_per_thread,
+               n * cpt / 2 + dev.config().reg_overhead_per_thread);
+  spec.name = "trsm_lower_per_block";
+  auto res = dev.launch(spec, [arg](simt::BlockCtx& ctx) {
+    detail::trsm_lower_block(ctx, arg);
+  });
+  return GpuBatchResult{res, model::trsm_flops(n) * l.count()};
 }
 
 GpuBatchResult lu_pivot_per_block(regla::simt::Device& dev, BatchF& batch,

@@ -17,6 +17,15 @@ GpuBatchResult cholesky_per_block(regla::simt::Device& dev, BatchF& batch,
                                   std::vector<int>* notspd = nullptr,
                                   int threads = 0);
 
+/// Forward triangular solve L_k x_k = b_k from lower factors (Cholesky
+/// output convention: L in the lower triangle of `l`, the strict upper
+/// triangle ignored). b is overwritten with x; `singular` flags problems
+/// with a zero diagonal.
+GpuBatchResult trsm_lower_per_block(regla::simt::Device& dev, const BatchF& l,
+                                    BatchF& b,
+                                    std::vector<int>* singular = nullptr,
+                                    int threads = 0);
+
 /// Partial-pivoting LU (sgetrf conventions): pivots out per problem.
 GpuBatchResult lu_pivot_per_block(regla::simt::Device& dev, BatchF& batch,
                                   BatchedMatrix<int>* pivots = nullptr,

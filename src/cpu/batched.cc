@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "cpu/cholesky.h"
 #include "cpu/gauss_jordan.h"
 #include "cpu/lu.h"
 #include "cpu/qr.h"
@@ -74,6 +75,46 @@ BatchTiming batched_least_squares(BatchedMatrix<float>& a, BatchedMatrix<float>&
   REGLA_CHECK(a.rows() == b.rows() && x.rows() == a.cols());
   return timed_parallel(pool, a.count(), [&](int k) {
     qr_least_squares(a.matrix(k), b.matrix(k), x.matrix(k));
+  });
+}
+
+BatchTiming batched_cholesky(BatchedMatrix<float>& batch,
+                             std::vector<int>* notspd, ThreadPool& pool) {
+  REGLA_CHECK(batch.rows() == batch.cols());
+  if (notspd != nullptr) notspd->assign(batch.count(), 0);
+  int* flags = notspd ? notspd->data() : nullptr;
+  return timed_parallel(pool, batch.count(), [&, flags](int k) {
+    const bool ok = cholesky(batch.matrix(k));
+    if (!ok) {
+      REGLA_CHECK_MSG(flags != nullptr, "matrix " << k << " is not SPD");
+      flags[k] = 1;
+    }
+  });
+}
+
+BatchTiming batched_trsm_lower(const BatchedMatrix<float>& l,
+                               BatchedMatrix<float>& b,
+                               std::vector<int>* singular, ThreadPool& pool) {
+  const int n = l.cols();
+  REGLA_CHECK(l.rows() == n);
+  REGLA_CHECK(b.count() == l.count() && b.rows() == n && b.cols() == 1);
+  if (singular != nullptr) singular->assign(l.count(), 0);
+  int* flags = singular ? singular->data() : nullptr;
+  return timed_parallel(pool, l.count(), [&, flags, n](int k) {
+    const auto lk = l.matrix(k);
+    auto bk = b.matrix(k);
+    for (int c = 0; c < n; ++c) {
+      const float d = lk(c, c);
+      float xc = 0.0f;
+      if (d != 0.0f) {
+        xc = bk(c, 0) / d;
+      } else {
+        REGLA_CHECK_MSG(flags != nullptr, "zero diagonal in factor " << k);
+        flags[k] = 1;
+      }
+      bk(c, 0) = xc;
+      for (int i = c + 1; i < n; ++i) bk(i, 0) -= lk(i, c) * xc;
+    }
   });
 }
 

@@ -3,6 +3,8 @@
 // problems distributed across cores by the thread pool.
 #pragma once
 
+#include <vector>
+
 #include "common/matrix.h"
 #include "cpu/thread_pool.h"
 
@@ -39,5 +41,22 @@ BatchTiming batched_solve_gj(BatchedMatrix<float>& a, BatchedMatrix<float>& b,
 BatchTiming batched_least_squares(BatchedMatrix<float>& a, BatchedMatrix<float>& b,
                                   BatchedMatrix<float>& x,
                                   ThreadPool& pool = ThreadPool::global());
+
+/// Lower Cholesky of every matrix in place (L in the lower triangle, strict
+/// upper triangle untouched). `notspd`, when given, gets one flag per
+/// problem, nonzero where the matrix was not positive definite (such
+/// problems are left partially factored; their contents are unspecified).
+BatchTiming batched_cholesky(BatchedMatrix<float>& batch,
+                             std::vector<int>* notspd = nullptr,
+                             ThreadPool& pool = ThreadPool::global());
+
+/// Forward triangular solve L_k x_k = b_k from lower factors (strict upper
+/// triangles of `l` ignored); b overwritten with x. `singular` flags
+/// problems with a zero diagonal (the offending x entry becomes 0 and the
+/// solve continues, matching the device kernel).
+BatchTiming batched_trsm_lower(const BatchedMatrix<float>& l,
+                               BatchedMatrix<float>& b,
+                               std::vector<int>* singular = nullptr,
+                               ThreadPool& pool = ThreadPool::global());
 
 }  // namespace regla::cpu

@@ -29,6 +29,16 @@ double cqr_flops(int m, int n) {
   return 8.0 * md * nd * nd - 8.0 / 3.0 * nd * nd * nd;
 }
 
+double cholesky_flops(int n) {
+  const double nd = n;
+  return nd * nd * nd / 3.0;
+}
+
+double trsm_flops(int n) {
+  const double nd = n;
+  return nd * nd;
+}
+
 double matrix_traffic_bytes(int m, int n, int elem_bytes) {
   return 2.0 * static_cast<double>(m) * n * elem_bytes;
 }

@@ -23,6 +23,13 @@ double ls_flops(int m, int n);
 /// Complex single-precision QR in real FLOPs (paper §VII: 8 m n^2 - 8/3 n^3).
 double cqr_flops(int m, int n);
 
+/// Lower Cholesky of an SPD n x n matrix (1/3 n^3, half of LU's count).
+double cholesky_flops(int n);
+
+/// Forward triangular solve L x = b for one n-vector (one multiply-add per
+/// strictly-lower entry plus n divisions: ~n^2).
+double trsm_flops(int n);
+
 /// DRAM traffic of factoring in place: read + write the matrix once.
 double matrix_traffic_bytes(int m, int n, int elem_bytes = 4);
 

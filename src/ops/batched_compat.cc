@@ -1,0 +1,128 @@
+#include "ops/batched_compat.h"
+
+#include "planner/planner.h"
+
+namespace regla::ops {
+
+namespace {
+
+/// The process-wide planner behind the free-function API. Each regla::Solver
+/// owns its own planner; these wrappers share one so repeated free-function
+/// calls still hit a warm plan cache. The device configuration is part of
+/// every cache key, so multiple Devices can share it safely.
+planner::Planner& shared_planner() {
+  static planner::Planner p;
+  return p;
+}
+
+core::BatchedOutcome run(regla::simt::Device& dev, planner::Op op, Call call) {
+  const planner::Plan plan = shared_planner().plan(
+      dev.config(), planner::ProblemDesc{op, call.m(), call.n(), call.count(),
+                                         call.dtype()});
+  const SolveReport rep = run_device(dev, op, plan, call);
+  return core::BatchedOutcome{plan.approach, rep.seconds, rep.nominal_flops};
+}
+
+}  // namespace
+
+core::BatchedOutcome batched_qr(regla::simt::Device& dev, BatchF& batch,
+                                BatchF* taus, const core::SolveOptions& opts) {
+  Call call;
+  call.a = &batch;
+  call.taus = taus;
+  call.opts = opts;
+  return run(dev, planner::Op::qr, call);
+}
+
+core::BatchedOutcome batched_qr(regla::simt::Device& dev, BatchC& batch,
+                                BatchC* taus, const core::SolveOptions& opts) {
+  Call call;
+  call.ca = &batch;
+  call.ctaus = taus;
+  call.opts = opts;
+  return run(dev, planner::Op::qr, call);
+}
+
+core::BatchedOutcome batched_lu(regla::simt::Device& dev, BatchF& batch,
+                                const core::SolveOptions& opts) {
+  Call call;
+  call.a = &batch;
+  call.opts = opts;
+  return run(dev, planner::Op::lu, call);
+}
+
+core::BatchedOutcome batched_solve(regla::simt::Device& dev, BatchF& a,
+                                   BatchF& b, const core::SolveOptions& opts) {
+  const auto op = opts.method == core::SolveMethod::gauss_jordan
+                      ? planner::Op::solve_gj
+                      : planner::Op::solve_qr;
+  Call call;
+  call.a = &a;
+  call.b = &b;
+  call.opts = opts;
+  return run(dev, op, call);
+}
+
+core::BatchedOutcome batched_least_squares(regla::simt::Device& dev, BatchF& a,
+                                           BatchF& b,
+                                           const core::SolveOptions& opts) {
+  Call call;
+  call.a = &a;
+  call.b = &b;
+  call.opts = opts;
+  return run(dev, planner::Op::least_squares, call);
+}
+
+core::BatchedOutcome batched_cholesky(regla::simt::Device& dev, BatchF& batch,
+                                      const core::SolveOptions& opts) {
+  Call call;
+  call.a = &batch;
+  call.opts = opts;
+  return run(dev, planner::Op::cholesky, call);
+}
+
+core::BatchedOutcome batched_trsm_lower(regla::simt::Device& dev, BatchF& l,
+                                        BatchF& b,
+                                        const core::SolveOptions& opts) {
+  Call call;
+  call.a = &l;
+  call.b = &b;
+  call.opts = opts;
+  return run(dev, planner::Op::trsm, call);
+}
+
+}  // namespace regla::ops
+
+// --- deprecated core:: forwarders -------------------------------------------
+// Definitions for the [[deprecated]] declarations in core/batched.h: the
+// legacy names keep working, dispatched through the registry like everything
+// else, while the attribute steers callers to ops::batched_* / regla::Solver.
+
+namespace regla::core {
+
+BatchedOutcome batched_qr(regla::simt::Device& dev, BatchF& batch, BatchF* taus,
+                          const SolveOptions& opts) {
+  return ops::batched_qr(dev, batch, taus, opts);
+}
+
+BatchedOutcome batched_qr(regla::simt::Device& dev, BatchC& batch, BatchC* taus,
+                          const SolveOptions& opts) {
+  return ops::batched_qr(dev, batch, taus, opts);
+}
+
+BatchedOutcome batched_lu(regla::simt::Device& dev, BatchF& batch,
+                          const SolveOptions& opts) {
+  return ops::batched_lu(dev, batch, opts);
+}
+
+BatchedOutcome batched_solve(regla::simt::Device& dev, BatchF& a, BatchF& b,
+                             const SolveOptions& opts) {
+  return ops::batched_solve(dev, a, b, opts);
+}
+
+BatchedOutcome batched_least_squares(regla::simt::Device& dev, BatchF& a,
+                                     BatchF& b, const SolveOptions& opts) {
+  return ops::batched_least_squares(dev, a, b, opts);
+}
+
+}  // namespace regla::core

@@ -1,0 +1,55 @@
+// Non-deprecated free-function entry points over the op registry, with the
+// historical core::batched_* contracts: one process-wide shared planner (so
+// repeated calls hit a warm plan cache), BatchedOutcome results.
+//
+// The core::batched_* names in core/batched.h now forward here and are
+// [[deprecated]]; callers that want free functions should use these, and
+// callers that want reports/caching control should use regla::Solver.
+#pragma once
+
+#include "core/batched.h"
+#include "ops/registry.h"
+
+namespace regla::ops {
+
+/// QR factorization of the whole batch in place. For the tiled path only the
+/// R factors are retained (written back into the leading n x n block of each
+/// problem; below-diagonal contents unspecified) and taus is not produced.
+core::BatchedOutcome batched_qr(regla::simt::Device& dev, BatchF& batch,
+                                BatchF* taus = nullptr,
+                                const core::SolveOptions& opts = {});
+core::BatchedOutcome batched_qr(regla::simt::Device& dev, BatchC& batch,
+                                BatchC* taus = nullptr,
+                                const core::SolveOptions& opts = {});
+
+/// Unpivoted LU (square problems that fit at most one block).
+core::BatchedOutcome batched_lu(regla::simt::Device& dev, BatchF& batch,
+                                const core::SolveOptions& opts = {});
+
+/// Solve A_k x_k = b_k; method selected via SolveOptions (auto_ = the stable
+/// QR path; gauss_jordan assumes diagonally dominant inputs, as in the
+/// paper).
+core::BatchedOutcome batched_solve(regla::simt::Device& dev, BatchF& a,
+                                   BatchF& b,
+                                   const core::SolveOptions& opts = {});
+
+/// Least squares for tall problems: per-block while [A | b] fits one block's
+/// register file, TSQR-chained (tiled) beyond. x_k lands in the first n
+/// entries of b_k either way.
+core::BatchedOutcome batched_least_squares(regla::simt::Device& dev, BatchF& a,
+                                           BatchF& b,
+                                           const core::SolveOptions& opts = {});
+
+/// Lower Cholesky of every matrix in place (problems that are not positive
+/// definite are left partially factored; use Solver::cholesky for the
+/// per-problem not_solved flags).
+core::BatchedOutcome batched_cholesky(regla::simt::Device& dev, BatchF& batch,
+                                      const core::SolveOptions& opts = {});
+
+/// Forward triangular solve L_k x_k = b_k from lower factors; b overwritten
+/// with x.
+core::BatchedOutcome batched_trsm_lower(regla::simt::Device& dev, BatchF& l,
+                                        BatchF& b,
+                                        const core::SolveOptions& opts = {});
+
+}  // namespace regla::ops

@@ -1,0 +1,42 @@
+// Op::cholesky — lower Cholesky of SPD batches in place (L in the lower
+// triangle), the first zoo op past the paper's four: the standard fast path
+// for normal-equations and covariance solves. Non-SPD problems flag
+// not_solved on both backends.
+#include <utility>
+#include <vector>
+
+#include "core/per_block_ext.h"
+#include "cpu/batched.h"
+#include "ops/registry.h"
+
+namespace regla::ops {
+namespace {
+
+SolveReport cholesky_device_f32(regla::simt::Device& dev,
+                                const planner::Plan& plan, const Call& call) {
+  std::vector<int> flags;
+  SolveReport rep = from_gpu(
+      plan, core::cholesky_per_block(dev, *call.a, &flags,
+                                     block_opts(plan, call.opts).threads));
+  rep.not_solved = std::move(flags);
+  return rep;
+}
+
+SolveReport cholesky_cpu_f32(const Call& call, cpu::ThreadPool& pool) {
+  std::vector<int> flags;
+  const cpu::BatchTiming t = cpu::batched_cholesky(*call.a, &flags, pool);
+  SolveReport rep;
+  rep.seconds = t.seconds;
+  rep.nominal_flops = nominal_flops(planner::Op::cholesky, call);
+  rep.not_solved = std::move(flags);
+  return rep;
+}
+
+}  // namespace
+
+REGLA_REGISTER_OP(cholesky_f32_dev, planner::Op::cholesky,
+                  planner::Dtype::f32, Backend::device, cholesky_device_f32);
+REGLA_REGISTER_OP(cholesky_f32_cpu, planner::Op::cholesky,
+                  planner::Dtype::f32, Backend::cpu, cholesky_cpu_f32);
+
+}  // namespace regla::ops

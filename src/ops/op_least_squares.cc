@@ -1,0 +1,52 @@
+// Op::least_squares — min ||A x - b|| for tall problems: per-block while
+// [A | b] fits one block's register file, TSQR-chained (tiled) beyond. x_k
+// lands in the first n entries of b_k on every path, including the cpu
+// reference.
+#include <algorithm>
+
+#include "core/batched.h"
+#include "cpu/batched.h"
+#include "ops/registry.h"
+
+namespace regla::ops {
+namespace {
+
+SolveReport ls_device_f32(regla::simt::Device& dev, const planner::Plan& plan,
+                          const Call& call) {
+  BatchF& a = *call.a;
+  BatchF& b = *call.b;
+  if (plan.approach == core::Approach::tiled) {
+    BatchF x;
+    const core::TiledResult t = core::tiled_least_squares(dev, a, b, x);
+    for (int k = 0; k < b.count(); ++k)
+      for (int i = 0; i < a.cols(); ++i) b.at(k, i, 0) = x.at(k, i, 0);
+    return from_tiled(plan, t);
+  }
+  return from_gpu(plan,
+                  core::ls_per_block(dev, a, b, block_opts(plan, call.opts)));
+}
+
+SolveReport ls_cpu_f32(const Call& call, cpu::ThreadPool& pool) {
+  BatchF& a = *call.a;
+  BatchF& b = *call.b;
+  const int n = a.cols();
+  BatchF x(a.count(), n, 1);
+  const cpu::BatchTiming t = cpu::batched_least_squares(a, b, x, pool);
+  // Device contract: x lands in the first n entries of each b.
+  for (int k = 0; k < x.count(); ++k)
+    std::copy_n(x.data() + static_cast<std::size_t>(k) * x.stride(), n,
+                b.data() + static_cast<std::size_t>(k) * b.stride());
+  SolveReport rep;
+  rep.seconds = t.seconds;
+  rep.nominal_flops = nominal_flops(planner::Op::least_squares, call);
+  return rep;
+}
+
+}  // namespace
+
+REGLA_REGISTER_OP(ls_f32_dev, planner::Op::least_squares, planner::Dtype::f32,
+                  Backend::device, ls_device_f32);
+REGLA_REGISTER_OP(ls_f32_cpu, planner::Op::least_squares, planner::Dtype::f32,
+                  Backend::cpu, ls_cpu_f32);
+
+}  // namespace regla::ops

@@ -1,0 +1,42 @@
+// Op::lu — unpivoted LU in place (square problems up to one block; the
+// paper's inputs are diagonally dominant so no pivoting is needed).
+#include <utility>
+#include <vector>
+
+#include "core/batched.h"
+#include "cpu/batched.h"
+#include "ops/registry.h"
+
+namespace regla::ops {
+namespace {
+
+SolveReport lu_device_f32(regla::simt::Device& dev, const planner::Plan& plan,
+                          const Call& call) {
+  BatchF& batch = *call.a;
+  if (plan.approach == core::Approach::per_thread)
+    return from_gpu(plan, core::lu_per_thread(dev, batch));
+  std::vector<int> flags;
+  SolveReport rep = from_gpu(
+      plan,
+      core::lu_per_block(dev, batch, &flags, block_opts(plan, call.opts)));
+  rep.not_solved = std::move(flags);
+  return rep;
+}
+
+SolveReport lu_cpu_f32(const Call& call, cpu::ThreadPool& pool) {
+  const cpu::BatchTiming t =
+      cpu::batched_lu(*call.a, /*pivot=*/false, pool);
+  SolveReport rep;
+  rep.seconds = t.seconds;
+  rep.nominal_flops = nominal_flops(planner::Op::lu, call);
+  return rep;
+}
+
+}  // namespace
+
+REGLA_REGISTER_OP(lu_f32_dev, planner::Op::lu, planner::Dtype::f32,
+                  Backend::device, lu_device_f32);
+REGLA_REGISTER_OP(lu_f32_cpu, planner::Op::lu, planner::Dtype::f32,
+                  Backend::cpu, lu_cpu_f32);
+
+}  // namespace regla::ops

@@ -1,0 +1,86 @@
+// Op::qr — Householder QR, the paper's flagship op: per-thread (§IV),
+// per-block (§V), and tiled TSQR (§VII) for f32; per-block/tiled for c64.
+// Tiled retains only R (written back into the leading n x n block).
+#include "common/error.h"
+#include "core/batched.h"
+#include "cpu/batched.h"
+#include "ops/registry.h"
+
+namespace regla::ops {
+namespace {
+
+template <typename Batch>
+void write_back_r(Batch& batch, const Batch& r) {
+  const int n = batch.cols();
+  for (int k = 0; k < batch.count(); ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) batch.at(k, i, j) = r.at(k, i, j);
+}
+
+SolveReport qr_device_f32(regla::simt::Device& dev, const planner::Plan& plan,
+                          const Call& call) {
+  BatchF& batch = *call.a;
+  switch (plan.approach) {
+    case core::Approach::per_thread:
+      return from_gpu(plan, core::qr_per_thread(dev, batch, call.taus));
+    case core::Approach::per_block:
+      return from_gpu(plan, core::qr_per_block(dev, batch, call.taus,
+                                               block_opts(plan, call.opts)));
+    case core::Approach::tiled: {
+      REGLA_CHECK_MSG(call.taus == nullptr,
+                      "the tiled QR path retains only R, not the reflectors");
+      BatchF r;
+      const core::TiledResult t = core::tiled_qr_r(dev, batch, r);
+      write_back_r(batch, r);
+      return from_tiled(plan, t);
+    }
+  }
+  REGLA_CHECK(false);
+  return {};
+}
+
+SolveReport qr_device_c64(regla::simt::Device& dev, const planner::Plan& plan,
+                          const Call& call) {
+  BatchC& batch = *call.ca;
+  if (plan.approach == core::Approach::tiled) {
+    REGLA_CHECK_MSG(call.ctaus == nullptr,
+                    "the tiled QR path retains only R, not the reflectors");
+    BatchC r;
+    const core::TiledResult t = core::tiled_qr_r(dev, batch, r);
+    write_back_r(batch, r);
+    return from_tiled(plan, t);
+  }
+  // No complex per-thread kernel is ever planned; everything else is
+  // per-block.
+  return from_gpu(plan, core::qr_per_block(dev, batch, call.ctaus,
+                                           block_opts(plan, call.opts)));
+}
+
+SolveReport qr_cpu_f32(const Call& call, cpu::ThreadPool& pool) {
+  const cpu::BatchTiming t = cpu::batched_qr(*call.a, pool);
+  SolveReport rep;
+  rep.seconds = t.seconds;
+  rep.nominal_flops = nominal_flops(planner::Op::qr, call);
+  return rep;
+}
+
+SolveReport qr_cpu_c64(const Call& call, cpu::ThreadPool& pool) {
+  const cpu::BatchTiming t = cpu::batched_qr(*call.ca, pool);
+  SolveReport rep;
+  rep.seconds = t.seconds;
+  rep.nominal_flops = nominal_flops(planner::Op::qr, call);
+  return rep;
+}
+
+}  // namespace
+
+REGLA_REGISTER_OP(qr_f32_dev, planner::Op::qr, planner::Dtype::f32,
+                  Backend::device, qr_device_f32);
+REGLA_REGISTER_OP(qr_c64_dev, planner::Op::qr, planner::Dtype::c64,
+                  Backend::device, qr_device_c64);
+REGLA_REGISTER_OP(qr_f32_cpu, planner::Op::qr, planner::Dtype::f32,
+                  Backend::cpu, qr_cpu_f32);
+REGLA_REGISTER_OP(qr_c64_cpu, planner::Op::qr, planner::Dtype::c64,
+                  Backend::cpu, qr_cpu_c64);
+
+}  // namespace regla::ops

@@ -1,0 +1,45 @@
+// Op::solve_gj — unpivoted Gauss-Jordan solve for diagonally dominant
+// systems (the paper's fast path); zero pivots flag not_solved.
+#include <utility>
+#include <vector>
+
+#include "core/batched.h"
+#include "cpu/batched.h"
+#include "ops/registry.h"
+
+namespace regla::ops {
+namespace {
+
+SolveReport solve_gj_device_f32(regla::simt::Device& dev,
+                                const planner::Plan& plan, const Call& call) {
+  BatchF& a = *call.a;
+  BatchF& b = *call.b;
+  std::vector<int> flags;
+  SolveReport rep;
+  if (plan.approach == core::Approach::per_thread) {
+    rep = from_gpu(plan, core::gj_solve_per_thread(dev, a, b, &flags));
+  } else {
+    rep = from_gpu(plan, core::gj_solve_per_block(dev, a, b, &flags,
+                                                  block_opts(plan, call.opts)));
+  }
+  rep.not_solved = std::move(flags);
+  return rep;
+}
+
+SolveReport solve_gj_cpu_f32(const Call& call, cpu::ThreadPool& pool) {
+  const cpu::BatchTiming t =
+      cpu::batched_solve_gj(*call.a, *call.b, /*pivot=*/false, pool);
+  SolveReport rep;
+  rep.seconds = t.seconds;
+  rep.nominal_flops = nominal_flops(planner::Op::solve_gj, call);
+  return rep;
+}
+
+}  // namespace
+
+REGLA_REGISTER_OP(solve_gj_f32_dev, planner::Op::solve_gj,
+                  planner::Dtype::f32, Backend::device, solve_gj_device_f32);
+REGLA_REGISTER_OP(solve_gj_f32_cpu, planner::Op::solve_gj,
+                  planner::Dtype::f32, Backend::cpu, solve_gj_cpu_f32);
+
+}  // namespace regla::ops

@@ -1,0 +1,32 @@
+// Op::solve_qr — the stable square-system path: QR of [A | b] plus
+// back-substitution. No breakdown mode (Householder never divides by a
+// pivot), so not_solved stays empty.
+#include "core/batched.h"
+#include "cpu/batched.h"
+#include "ops/registry.h"
+
+namespace regla::ops {
+namespace {
+
+SolveReport solve_qr_device_f32(regla::simt::Device& dev,
+                                const planner::Plan& plan, const Call& call) {
+  return from_gpu(plan, core::qr_solve_per_block(dev, *call.a, *call.b,
+                                                 block_opts(plan, call.opts)));
+}
+
+SolveReport solve_qr_cpu_f32(const Call& call, cpu::ThreadPool& pool) {
+  const cpu::BatchTiming t = cpu::batched_solve_qr(*call.a, *call.b, pool);
+  SolveReport rep;
+  rep.seconds = t.seconds;
+  rep.nominal_flops = nominal_flops(planner::Op::solve_qr, call);
+  return rep;
+}
+
+}  // namespace
+
+REGLA_REGISTER_OP(solve_qr_f32_dev, planner::Op::solve_qr,
+                  planner::Dtype::f32, Backend::device, solve_qr_device_f32);
+REGLA_REGISTER_OP(solve_qr_f32_cpu, planner::Op::solve_qr,
+                  planner::Dtype::f32, Backend::cpu, solve_qr_cpu_f32);
+
+}  // namespace regla::ops

@@ -1,0 +1,42 @@
+// Op::trsm — forward triangular solve L x = b from lower factors (Cholesky
+// output convention). Pairs with Op::cholesky for the factor-once /
+// solve-many pattern; zero diagonals flag not_solved on both backends.
+#include <utility>
+#include <vector>
+
+#include "core/per_block_ext.h"
+#include "cpu/batched.h"
+#include "ops/registry.h"
+
+namespace regla::ops {
+namespace {
+
+SolveReport trsm_device_f32(regla::simt::Device& dev,
+                            const planner::Plan& plan, const Call& call) {
+  std::vector<int> flags;
+  SolveReport rep = from_gpu(
+      plan, core::trsm_lower_per_block(dev, *call.a, *call.b, &flags,
+                                       block_opts(plan, call.opts).threads));
+  rep.not_solved = std::move(flags);
+  return rep;
+}
+
+SolveReport trsm_cpu_f32(const Call& call, cpu::ThreadPool& pool) {
+  std::vector<int> flags;
+  const cpu::BatchTiming t =
+      cpu::batched_trsm_lower(*call.a, *call.b, &flags, pool);
+  SolveReport rep;
+  rep.seconds = t.seconds;
+  rep.nominal_flops = nominal_flops(planner::Op::trsm, call);
+  rep.not_solved = std::move(flags);
+  return rep;
+}
+
+}  // namespace
+
+REGLA_REGISTER_OP(trsm_f32_dev, planner::Op::trsm, planner::Dtype::f32,
+                  Backend::device, trsm_device_f32);
+REGLA_REGISTER_OP(trsm_f32_cpu, planner::Op::trsm, planner::Dtype::f32,
+                  Backend::cpu, trsm_cpu_f32);
+
+}  // namespace regla::ops

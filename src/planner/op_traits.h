@@ -1,0 +1,67 @@
+// Per-Op metadata: the single table that tells the planner, the Solver, the
+// Runtime, and the op registry what each batched operation looks like —
+// shape rules, which kernels exist, which analytical model scores the
+// per-block mapping, what synthetic data exercises it, and the paper-§III
+// FLOP formula GFLOP/s is reported against.
+//
+// Adding an op = one row here (shape + model metadata) plus one registration
+// TU under src/ops/ (the kernels). Nothing else in planner/runtime/solver
+// switches on Op anymore.
+#pragma once
+
+#include "model/per_block_model.h"
+#include "planner/plan.h"
+
+namespace regla::planner {
+
+/// Right-hand-side shape an op consumes alongside the count x m x n batch.
+enum class RhsShape : std::uint8_t {
+  none,    ///< factorizations: the matrix batch alone
+  n_by_1,  ///< square solves: one n-vector per problem
+  m_by_1,  ///< least squares: one m-vector per problem
+};
+
+/// Synthetic input class that exercises the op without breakdown (the
+/// paper's methodology: uniform for QR/LS, diagonally dominant wherever an
+/// unpivoted elimination must not hit a zero pivot, SPD for Cholesky).
+enum class FillKind : std::uint8_t { uniform, diag_dominant, spd };
+
+struct OpTraits {
+  RhsShape rhs = RhsShape::none;
+  bool square_only = false;  ///< problems must satisfy m == n
+  bool tall_only = false;    ///< problems must satisfy m > n
+  bool supports_c64 = false;
+  /// Columns appended to the register tile beyond n (solves and least
+  /// squares carry the RHS as an augmented column).
+  int extra_cols = 0;
+  bool has_per_thread = false;
+  bool has_per_block = true;
+  bool has_tiled = false;
+  /// Which Table VI per-block model scores this op's block mapping (scaled
+  /// by the flops ratio).
+  model::BlockAlg block_alg = model::BlockAlg::qr;
+  FillKind fill = FillKind::uniform;
+  FillKind rhs_fill = FillKind::uniform;
+  /// Nominal FLOPs for one m x n problem (paper §III; feeds Eq. 1 / Table
+  /// VI scaling and every reported GFLOP/s).
+  double (*flops)(int m, int n, Dtype dtype) = nullptr;
+  /// Trace span name the Solver opens around dispatch (and the c64 variant
+  /// where complex kernels exist; null = same as `span`).
+  const char* span = "solver.op";
+  const char* span_c64 = nullptr;
+};
+
+/// The traits row for `op`. Total over the Op enum; REGLA_CHECKs on a value
+/// outside it.
+const OpTraits& op_traits(Op op);
+
+/// Shape admissibility under the traits row (square/tall/wide rules).
+bool shape_ok(const OpTraits& t, int m, int n);
+
+/// Dtype admissibility (f32 always; c64 only where kernels exist).
+bool dtype_ok(const OpTraits& t, Dtype dtype);
+
+/// Columns materialized in the register tile: n plus the augmented RHS.
+inline int augmented_cols(const OpTraits& t, int n) { return n + t.extra_cols; }
+
+}  // namespace regla::planner

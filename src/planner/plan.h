@@ -18,8 +18,17 @@ namespace regla::planner {
 /// Batched operation kinds the planner can dispatch. The solve flavours are
 /// split because they map to different kernels (and different FLOP counts):
 /// solve_qr is the stable QR-of-[A|b] path, solve_gj the unpivoted
-/// Gauss-Jordan path for diagonally dominant systems.
-enum class Op : std::uint8_t { qr, lu, solve_qr, solve_gj, least_squares };
+/// Gauss-Jordan path for diagonally dominant systems. cholesky and trsm are
+/// the SPD extensions past the paper's set (lower Cholesky in place, and a
+/// forward triangular solve L x = b from such a factor). Each Op's shape
+/// rules, kernels, and FLOP formula live in one OpTraits row
+/// (planner/op_traits.h) plus one registration TU under src/ops/.
+enum class Op : std::uint8_t {
+  qr, lu, solve_qr, solve_gj, least_squares, cholesky, trsm
+};
+
+/// Number of Op enumerators (for registry/traits completeness sweeps).
+inline constexpr int kOpCount = 7;
 
 inline const char* to_string(Op op) {
   switch (op) {
@@ -28,6 +37,8 @@ inline const char* to_string(Op op) {
     case Op::solve_qr: return "solve_qr";
     case Op::solve_gj: return "solve_gj";
     case Op::least_squares: return "least_squares";
+    case Op::cholesky: return "cholesky";
+    case Op::trsm: return "trsm";
   }
   return "?";
 }

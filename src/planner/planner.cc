@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "model/model.h"
 #include "obs/trace.h"
+#include "planner/op_traits.h"
 #include "simt/occupancy.h"
 #include "simt/reg_tile.h"
 #include "simt/stats.h"
@@ -29,27 +30,14 @@ constexpr double kSpillTouchesPerFlop = 2.5;
 /// (64-thread blocks still win at n = 57, lose from n = 64 up).
 constexpr double kSpillTouchesPerFlopBlock = 5.0;
 
-bool is_solve(Op op) { return op == Op::solve_qr || op == Op::solve_gj; }
-
 /// Columns actually materialized in the register tile (solves and least
 /// squares carry the RHS as an augmented column).
-int augmented_cols(Op op, int n) {
-  return n + (is_solve(op) || op == Op::least_squares ? 1 : 0);
-}
+int augmented_cols(Op op, int n) { return augmented_cols(op_traits(op), n); }
 
 /// The paper's nominal FLOPs for one problem (what GFLOP/s is reported
-/// against, and what the scores charge work for).
+/// against, and what the scores charge work for) — the traits-table formula.
 double nominal_flops_per_problem(const ProblemDesc& d) {
-  switch (d.op) {
-    case Op::qr:
-      return d.dtype == Dtype::c64 ? model::cqr_flops(d.m, d.n)
-                                   : model::qr_flops(d.m, d.n);
-    case Op::lu: return model::lu_flops(d.n);
-    case Op::solve_qr: return model::ls_flops(d.n, d.n);
-    case Op::solve_gj: return model::gj_flops(d.n);
-    case Op::least_squares: return model::ls_flops(d.m, d.n);
-  }
-  return 0;
+  return op_traits(d.op).flops(d.m, d.n, d.dtype);
 }
 
 /// Fraction of tile words past the register budget (0 while it fits).
@@ -149,9 +137,7 @@ std::optional<Plan> score_per_block(const regla::simt::DeviceConfig& cfg,
                                     const ProblemDesc& d, int threads) {
   const int wpe = words_per_elem(d.dtype);
   const int naug = augmented_cols(d.op, d.n);
-  const auto alg = (d.op == Op::lu || d.op == Op::solve_gj)
-                       ? model::BlockAlg::lu
-                       : model::BlockAlg::qr;
+  const auto alg = op_traits(d.op).block_alg;
   const double op_flops = nominal_flops_per_problem(d);
   const double cycles_block =
       per_block_cycles(cfg, alg, d.m, d.n, naug, threads, wpe, op_flops);
@@ -222,24 +208,23 @@ std::optional<Plan> score_tiled(const regla::simt::DeviceConfig& cfg,
 // --- Admission -------------------------------------------------------------
 
 bool per_thread_admissible(const ProblemDesc& d) {
+  const OpTraits& t = op_traits(d.op);
+  if (!t.has_per_thread) return false;
   if (d.dtype != Dtype::f32) return false;  // no complex per-thread kernels
-  if (d.m != d.n) return false;
-  if (d.op != Op::qr && d.op != Op::lu && d.op != Op::solve_gj) return false;
+  if (d.m != d.n) return false;             // the §IV kernels are square-only
   if (d.n > core::kPerThreadMaxDim) return false;  // §IV: n < 16
   return d.m * augmented_cols(d.op, d.n) <= regla::simt::kMaxTileElems;
 }
 
 bool op_supported_per_block(const ProblemDesc& d) {
-  if (d.dtype == Dtype::c64) return d.op == Op::qr;  // §VII STAP path
-  if (is_solve(d.op) || d.op == Op::lu) return d.m == d.n;
-  if (d.op == Op::least_squares) return d.m > d.n;
-  return d.m >= d.n;  // qr
+  const OpTraits& t = op_traits(d.op);
+  return t.has_per_block && dtype_ok(t, d.dtype) && shape_ok(t, d.m, d.n);
 }
 
 bool op_supported_tiled(const ProblemDesc& d) {
-  if (d.op == Op::qr) return d.m >= d.n;
-  if (d.op == Op::least_squares) return d.dtype == Dtype::f32 && d.m > d.n;
-  return false;  // LU / solves stop at one block, as in the paper
+  // LU / solves stop at one block, as in the paper: only qr/ls set has_tiled.
+  const OpTraits& t = op_traits(d.op);
+  return t.has_tiled && dtype_ok(t, d.dtype) && shape_ok(t, d.m, d.n);
 }
 
 void enumerate(const regla::simt::DeviceConfig& cfg, const ProblemDesc& d,

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/generators.h"
 #include "obs/trace.h"
+#include "planner/op_traits.h"
 
 namespace regla {
 
@@ -25,11 +26,13 @@ class FastMathScope {
   bool saved_;
 };
 
-core::BlockOptions block_opts(const planner::Plan& plan,
-                              const core::SolveOptions& opts) {
-  core::BlockOptions b = opts.block();
-  if (b.threads == 0) b.threads = plan.threads;
-  return b;
+void fill_matrix(BatchF& batch, planner::FillKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case planner::FillKind::uniform: fill_uniform(batch, seed); return;
+    case planner::FillKind::diag_dominant: fill_diag_dominant(batch, seed); return;
+    case planner::FillKind::spd: fill_spd(batch, seed); return;
+  }
+  REGLA_CHECK(false);
 }
 
 }  // namespace
@@ -53,211 +56,114 @@ Solver::Solver(simt::Device& dev, std::shared_ptr<planner::Planner> shared,
   // Solver's device, which is a data race once siblings share the planner.
 }
 
-planner::Plan Solver::plan_for(planner::Op op, int m, int n, int batch,
-                               planner::Dtype dtype) {
-  return planner_->plan(dev_.config(),
-                        planner::ProblemDesc{op, m, n, batch, dtype});
-}
-
-SolveReport Solver::finish(const planner::Plan& plan,
-                           const core::GpuBatchResult& r) {
-  SolveReport rep;
-  rep.plan = plan;
-  rep.seconds = r.launch.seconds;
-  rep.chip_cycles = r.launch.chip_cycles;
-  rep.nominal_flops = r.nominal_flops;
-  rep.counters = r.launch.totals;
-  rep.blocks_per_sm = r.launch.blocks_per_sm;
-  rep.waves = r.launch.waves;
-  rep.cache_hit = plan.from_cache;
-  stamp_planner_stats(rep);
-  return rep;
-}
-
-SolveReport Solver::finish_tiled(const planner::Plan& plan,
-                                 const core::TiledResult& t) {
-  SolveReport rep;
-  rep.plan = plan;
-  rep.seconds = t.seconds;
-  rep.chip_cycles = t.chip_cycles;
-  rep.nominal_flops = t.nominal_flops;
-  rep.waves = t.steps;
-  rep.cache_hit = plan.from_cache;
-  stamp_planner_stats(rep);
-  return rep;
-}
-
-void Solver::stamp_planner_stats(SolveReport& report) const {
+SolveReport Solver::run(planner::Op op, ops::Call call) {
+  const planner::OpTraits& traits = planner::op_traits(op);
+  const bool c64 = call.dtype() == planner::Dtype::c64;
+  obs::Span span(c64 && traits.span_c64 ? traits.span_c64 : traits.span,
+                 "solver");
+  ops::validate(op, call);
+  const planner::Plan plan = planner_->plan(
+      dev_.config(), planner::ProblemDesc{op, call.m(), call.n(), call.count(),
+                                          call.dtype()});
+  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
+  SolveReport rep = ops::run_device(dev_, op, plan, call);
   const planner::PlannerStats s = planner_->stats();
-  report.planner_hits = s.cache_hits;
-  report.planner_misses = s.cache_misses;
-}
-
-SolveReport Solver::qr(BatchF& batch, BatchF* taus,
-                       const core::SolveOptions& opts) {
-  obs::Span span("solver.qr", "solver");
-  const int m = batch.rows(), n = batch.cols();
-  const auto plan =
-      plan_for(planner::Op::qr, m, n, batch.count(), planner::Dtype::f32);
-  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
-  switch (plan.approach) {
-    case core::Approach::per_thread:
-      return finish(plan, core::qr_per_thread(dev_, batch, taus));
-    case core::Approach::per_block:
-      return finish(plan,
-                    core::qr_per_block(dev_, batch, taus, block_opts(plan, opts)));
-    case core::Approach::tiled: {
-      REGLA_CHECK_MSG(taus == nullptr,
-                      "the tiled QR path retains only R, not the reflectors");
-      BatchF r;
-      const core::TiledResult t = core::tiled_qr_r(dev_, batch, r);
-      for (int k = 0; k < batch.count(); ++k)
-        for (int j = 0; j < n; ++j)
-          for (int i = 0; i < n; ++i) batch.at(k, i, j) = r.at(k, i, j);
-      return finish_tiled(plan, t);
-    }
-  }
-  REGLA_CHECK(false);
-  return {};
-}
-
-SolveReport Solver::qr(BatchC& batch, BatchC* taus,
-                       const core::SolveOptions& opts) {
-  obs::Span span("solver.qr_c64", "solver");
-  const int m = batch.rows(), n = batch.cols();
-  const auto plan =
-      plan_for(planner::Op::qr, m, n, batch.count(), planner::Dtype::c64);
-  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
-  if (plan.approach == core::Approach::tiled) {
-    REGLA_CHECK_MSG(taus == nullptr,
-                    "the tiled QR path retains only R, not the reflectors");
-    BatchC r;
-    const core::TiledResult t = core::tiled_qr_r(dev_, batch, r);
-    for (int k = 0; k < batch.count(); ++k)
-      for (int j = 0; j < n; ++j)
-        for (int i = 0; i < n; ++i) batch.at(k, i, j) = r.at(k, i, j);
-    return finish_tiled(plan, t);
-  }
-  return finish(plan,
-                core::qr_per_block(dev_, batch, taus, block_opts(plan, opts)));
-}
-
-SolveReport Solver::lu(BatchF& batch, const core::SolveOptions& opts) {
-  obs::Span span("solver.lu", "solver");
-  const int n = batch.cols();
-  REGLA_CHECK(batch.rows() == n);
-  const auto plan =
-      plan_for(planner::Op::lu, n, n, batch.count(), planner::Dtype::f32);
-  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
-  if (plan.approach == core::Approach::per_thread)
-    return finish(plan, core::lu_per_thread(dev_, batch));
-  std::vector<int> flags;
-  SolveReport rep = finish(
-      plan, core::lu_per_block(dev_, batch, &flags, block_opts(plan, opts)));
-  rep.not_solved = std::move(flags);
+  rep.planner_hits = s.cache_hits;
+  rep.planner_misses = s.cache_misses;
   return rep;
 }
 
-SolveReport Solver::solve(BatchF& a, BatchF& b,
-                          const core::SolveOptions& opts) {
-  obs::Span span("solver.solve", "solver");
-  const int n = a.cols();
-  const auto op = opts.method == core::SolveMethod::gauss_jordan
-                      ? planner::Op::solve_gj
-                      : planner::Op::solve_qr;
-  const auto plan = plan_for(op, n, n, a.count(), planner::Dtype::f32);
-  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
-  std::vector<int> flags;
-  SolveReport rep;
-  if (plan.approach == core::Approach::per_thread) {
-    rep = finish(plan, core::gj_solve_per_thread(dev_, a, b, &flags));
-  } else if (op == planner::Op::solve_gj) {
-    rep = finish(plan,
-                 core::gj_solve_per_block(dev_, a, b, &flags, block_opts(plan, opts)));
-  } else {
-    return finish(plan, core::qr_solve_per_block(dev_, a, b, block_opts(plan, opts)));
-  }
-  rep.not_solved = std::move(flags);
-  return rep;
+SolveReport Solver::qr(BatchF& batch, BatchF* taus, const SolveOptions& opts) {
+  ops::Call call;
+  call.a = &batch;
+  call.taus = taus;
+  call.opts = opts;
+  return run(planner::Op::qr, call);
+}
+
+SolveReport Solver::qr(BatchC& batch, BatchC* taus, const SolveOptions& opts) {
+  ops::Call call;
+  call.ca = &batch;
+  call.ctaus = taus;
+  call.opts = opts;
+  return run(planner::Op::qr, call);
+}
+
+SolveReport Solver::lu(BatchF& batch, const SolveOptions& opts) {
+  ops::Call call;
+  call.a = &batch;
+  call.opts = opts;
+  return run(planner::Op::lu, call);
+}
+
+SolveReport Solver::solve(BatchF& a, BatchF& b, const SolveOptions& opts) {
+  ops::Call call;
+  call.a = &a;
+  call.b = &b;
+  call.opts = opts;
+  return run(opts.method == core::SolveMethod::gauss_jordan
+                 ? planner::Op::solve_gj
+                 : planner::Op::solve_qr,
+             call);
 }
 
 SolveReport Solver::least_squares(BatchF& a, BatchF& b,
-                                  const core::SolveOptions& opts) {
-  obs::Span span("solver.least_squares", "solver");
-  const auto plan = plan_for(planner::Op::least_squares, a.rows(), a.cols(),
-                             a.count(), planner::Dtype::f32);
-  FastMathScope fm(dev_, plan.fast_math, opt_.apply_plan_fast_math);
-  if (plan.approach == core::Approach::tiled) {
-    BatchF x;
-    const core::TiledResult t = core::tiled_least_squares(dev_, a, b, x);
-    for (int k = 0; k < b.count(); ++k)
-      for (int i = 0; i < a.cols(); ++i) b.at(k, i, 0) = x.at(k, i, 0);
-    return finish_tiled(plan, t);
-  }
-  return finish(plan, core::ls_per_block(dev_, a, b, block_opts(plan, opts)));
+                                  const SolveOptions& opts) {
+  ops::Call call;
+  call.a = &a;
+  call.b = &b;
+  call.opts = opts;
+  return run(planner::Op::least_squares, call);
+}
+
+SolveReport Solver::cholesky(BatchF& batch, const SolveOptions& opts) {
+  ops::Call call;
+  call.a = &batch;
+  call.opts = opts;
+  return run(planner::Op::cholesky, call);
+}
+
+SolveReport Solver::trsm(BatchF& l, BatchF& b, const SolveOptions& opts) {
+  ops::Call call;
+  call.a = &l;
+  call.b = &b;
+  call.opts = opts;
+  return run(planner::Op::trsm, call);
 }
 
 double Solver::measure(const planner::ProblemDesc& d,
                        const planner::Plan& cand) {
-  // Synthetic data in the paper's methodology: uniform for QR/LS, diagonally
-  // dominant wherever an unpivoted elimination must not break down.
-  const core::BlockOptions bopt{cand.threads, cand.layout};
+  // Synthetic data per the op's traits row (the paper's methodology: uniform
+  // for QR/LS, diagonally dominant wherever an unpivoted elimination must
+  // not break down, SPD for Cholesky). The candidate's threads/layout ride
+  // in through SolveOptions so block_opts() reconstructs them at dispatch.
+  const planner::OpTraits& traits = planner::op_traits(d.op);
   FastMathScope fm(dev_, cand.fast_math, opt_.apply_plan_fast_math);
+  core::SolveOptions sopts;
+  sopts.threads = cand.threads;
+  sopts.layout = cand.layout;
   try {
-    switch (d.op) {
-      case planner::Op::qr: {
-        if (d.dtype == planner::Dtype::c64) {
-          BatchC b(d.batch, d.m, d.n);
-          fill_uniform(b, 0x9e37);
-          if (cand.approach == core::Approach::tiled) {
-            BatchC r;
-            return core::tiled_qr_r(dev_, b, r).chip_cycles;
-          }
-          return core::qr_per_block(dev_, b, nullptr, bopt).launch.chip_cycles;
-        }
-        BatchF b(d.batch, d.m, d.n);
-        fill_uniform(b, 0x9e37);
-        if (cand.approach == core::Approach::per_thread)
-          return core::qr_per_thread(dev_, b).launch.chip_cycles;
-        if (cand.approach == core::Approach::tiled) {
-          BatchF r;
-          return core::tiled_qr_r(dev_, b, r).chip_cycles;
-        }
-        return core::qr_per_block(dev_, b, nullptr, bopt).launch.chip_cycles;
-      }
-      case planner::Op::lu: {
-        BatchF b(d.batch, d.n, d.n);
-        fill_diag_dominant(b, 0x9e37);
-        if (cand.approach == core::Approach::per_thread)
-          return core::lu_per_thread(dev_, b).launch.chip_cycles;
-        return core::lu_per_block(dev_, b, nullptr, bopt).launch.chip_cycles;
-      }
-      case planner::Op::solve_qr: {
-        BatchF a(d.batch, d.n, d.n), b(d.batch, d.n, 1);
-        fill_diag_dominant(a, 0x9e37);
-        fill_uniform(b, 0x79b9);
-        return core::qr_solve_per_block(dev_, a, b, bopt).launch.chip_cycles;
-      }
-      case planner::Op::solve_gj: {
-        BatchF a(d.batch, d.n, d.n), b(d.batch, d.n, 1);
-        fill_diag_dominant(a, 0x9e37);
-        fill_uniform(b, 0x79b9);
-        if (cand.approach == core::Approach::per_thread)
-          return core::gj_solve_per_thread(dev_, a, b).launch.chip_cycles;
-        return core::gj_solve_per_block(dev_, a, b, nullptr, bopt)
-            .launch.chip_cycles;
-      }
-      case planner::Op::least_squares: {
-        BatchF a(d.batch, d.m, d.n), b(d.batch, d.m, 1);
-        fill_uniform(a, 0x9e37);
-        fill_uniform(b, 0x79b9);
-        if (cand.approach == core::Approach::tiled) {
-          BatchF x;
-          return core::tiled_least_squares(dev_, a, b, x).chip_cycles;
-        }
-        return core::ls_per_block(dev_, a, b, bopt).launch.chip_cycles;
-      }
+    if (d.dtype == planner::Dtype::c64) {
+      BatchC a(d.batch, d.m, d.n);
+      fill_uniform(a, 0x9e37);
+      ops::Call call;
+      call.ca = &a;
+      call.opts = sopts;
+      return ops::run_device(dev_, d.op, cand, call).chip_cycles;
     }
+    BatchF a(d.batch, d.m, d.n);
+    fill_matrix(a, traits.fill, 0x9e37);
+    BatchF b;
+    ops::Call call;
+    call.a = &a;
+    call.opts = sopts;
+    if (traits.rhs != planner::RhsShape::none) {
+      const int rows = traits.rhs == planner::RhsShape::m_by_1 ? d.m : d.n;
+      b = BatchF(d.batch, rows, 1);
+      fill_matrix(b, traits.rhs_fill, 0x79b9);
+      call.b = &b;
+    }
+    return ops::run_device(dev_, d.op, cand, call).chip_cycles;
   } catch (const Error&) {
     // A candidate the kernels reject is simply not measurable.
   }

@@ -8,66 +8,55 @@
 // A Solver owns a model-guided Planner and its plan cache: the first solve
 // of a shape enumerates and scores candidate mappings (optionally autotuning
 // the top few on the device), every repeat is an O(1) cache hit straight to
-// dispatch. Every entry point returns one SolveReport — the single struct
-// that subsumes the historical three-way split of simt::LaunchResult /
-// core::GpuBatchResult / core::BatchedOutcome.
+// dispatch. Execution goes through the op registry (ops/registry.h): the
+// Solver plans, the registry's (op, dtype, backend) entry runs the kernels.
+// The typed methods below (qr/lu/solve/...) are one-line conveniences over
+// the generic run(); any registered op — including ones added after this
+// header was written — is reachable via run(op, call).
 //
-// The free functions in core/batched.h remain as thin wrappers for old
-// callers; this facade is the supported API going forward.
+// Two options structs, two scopes:
+//   - regla::SolverConfig — constructor-level: how THIS Solver plans
+//     (planner options, autotune, whether a plan's fast_math choice is
+//     applied to the device). Fixed for the Solver's lifetime.
+//   - regla::SolveOptions (= core::SolveOptions) — request-level: per-call
+//     knobs (solve method, per-block thread override, register layout),
+//     carried to the kernels inside ops::Call.
+//
+// The deprecated free functions in core/batched.h forward to
+// ops::batched_* (ops/batched_compat.h); this facade is the supported API.
 #pragma once
 
 #include <memory>
-#include <vector>
 
-#include "core/batched.h"
+#include "ops/registry.h"
 #include "planner/planner.h"
+#include "planner/solve_report.h"
 #include "simt/engine.h"
 
 namespace regla {
 
-/// Everything a batched solve reports: what ran (the plan and the model's
-/// reasoning behind it), how long it took, what the instrumentation counted,
-/// and which problems failed. Replaces LaunchResult + GpuBatchResult +
-/// BatchedOutcome for callers of the Solver API.
-struct SolveReport {
-  planner::Plan plan;          ///< approach, threads, layout, model verdict
-  double seconds = 0;          ///< simulated wall time on the device
-  double chip_cycles = 0;
-  double nominal_flops = 0;    ///< textbook operation count (paper §III)
-  simt::LaunchCounters counters;  ///< instrumented totals (zero: tiled path)
-  int blocks_per_sm = 0;
-  int waves = 0;               ///< launch waves (tiled: chain steps)
-  /// One flag per problem, nonzero where the kernel could not solve (zero
-  /// pivot). Empty when the operation has no failure mode (QR, LS).
-  std::vector<int> not_solved;
-  bool cache_hit = false;      ///< this call's plan came from the plan cache
-  std::uint64_t planner_hits = 0;    ///< cumulative, this Solver's planner
-  std::uint64_t planner_misses = 0;
+/// Request-level options, forwarded to dispatch with every call (see
+/// core/batched.h for the fields: method, threads, layout).
+using SolveOptions = core::SolveOptions;
 
-  core::Approach approach() const { return plan.approach; }
-  double gflops() const {
-    return seconds > 0 ? nominal_flops / seconds / 1e9 : 0;
-  }
-  bool all_solved() const {
-    for (int f : not_solved)
-      if (f) return false;
-    return true;
-  }
-};
-
-/// The planner-backed facade over the batched GPU kernels. Holds a reference
-/// to the Device; one Solver per Device (or several — plans are keyed by
-/// device configuration, so sharing is safe but caches are per-Solver).
-struct SolverOptions {
+/// Constructor-level configuration: how a Solver plans. (Per-call knobs are
+/// SolveOptions, passed to each solve instead.)
+struct SolverConfig {
   planner::Planner::Options planner;
   /// Apply a plan's fast_math choice to the device for the launch (only
   /// differs from the config when planner.explore_fast_math is on).
   bool apply_plan_fast_math = true;
 };
 
+/// Historical name for SolverConfig, kept for existing callers.
+using SolverOptions = SolverConfig;
+
+/// The planner-backed facade over the op registry. Holds a reference to the
+/// Device; one Solver per Device (or several — plans are keyed by device
+/// configuration, so sharing is safe but caches are per-Solver).
 class Solver {
  public:
-  using Options = SolverOptions;
+  using Options = SolverConfig;
 
   explicit Solver(simt::Device& dev, Options opt = {});
 
@@ -81,22 +70,37 @@ class Solver {
   Solver(simt::Device& dev, std::shared_ptr<planner::Planner> shared,
          Options opt = {});
 
-  /// QR-factor every matrix in place (tiled path: R only, as in
-  /// core::batched_qr).
+  /// The generic entry point every typed method funnels into: validate the
+  /// call against the op's traits, plan (cached), dispatch to the registered
+  /// device entry. Throws ops::UnregisteredOpError if no kernel exists for
+  /// (op, call dtype).
+  SolveReport run(planner::Op op, ops::Call call);
+
+  /// QR-factor every matrix in place (tiled path: R only; taus not
+  /// produced there).
   SolveReport qr(BatchF& batch, BatchF* taus = nullptr,
-                 const core::SolveOptions& opts = {});
+                 const SolveOptions& opts = {});
   SolveReport qr(BatchC& batch, BatchC* taus = nullptr,
-                 const core::SolveOptions& opts = {});
+                 const SolveOptions& opts = {});
 
   /// Unpivoted LU in place (problems up to one block).
-  SolveReport lu(BatchF& batch, const core::SolveOptions& opts = {});
+  SolveReport lu(BatchF& batch, const SolveOptions& opts = {});
 
   /// Solve A_k x_k = b_k; b overwritten with x. Method via opts.method.
-  SolveReport solve(BatchF& a, BatchF& b, const core::SolveOptions& opts = {});
+  SolveReport solve(BatchF& a, BatchF& b, const SolveOptions& opts = {});
 
   /// Least squares min ||A x - b||; x lands in the first n entries of b.
   SolveReport least_squares(BatchF& a, BatchF& b,
-                            const core::SolveOptions& opts = {});
+                            const SolveOptions& opts = {});
+
+  /// Lower Cholesky in place (L in the lower triangle; strictly-upper
+  /// contents unspecified). Non-SPD problems flag not_solved.
+  SolveReport cholesky(BatchF& batch, const SolveOptions& opts = {});
+
+  /// Forward triangular solve L_k x_k = b_k from lower factors (Cholesky
+  /// output convention); b overwritten with x. Zero diagonals flag
+  /// not_solved.
+  SolveReport trsm(BatchF& l, BatchF& b, const SolveOptions& opts = {});
 
   planner::Planner& planner() { return *planner_; }
   const planner::Planner& planner() const { return *planner_; }
@@ -105,14 +109,8 @@ class Solver {
   simt::Device& device() { return dev_; }
 
  private:
-  planner::Plan plan_for(planner::Op op, int m, int n, int batch,
-                         planner::Dtype dtype);
   /// Measured chip cycles of one candidate on synthetic data (autotune).
   double measure(const planner::ProblemDesc& sample, const planner::Plan& cand);
-  SolveReport finish(const planner::Plan& plan, const core::GpuBatchResult& r);
-  SolveReport finish_tiled(const planner::Plan& plan,
-                           const core::TiledResult& t);
-  void stamp_planner_stats(SolveReport& report) const;
 
   simt::Device& dev_;
   Options opt_;

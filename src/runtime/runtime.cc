@@ -6,9 +6,10 @@
 #include <utility>
 
 #include "common/error.h"
-#include "cpu/batched.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "ops/registry.h"
+#include "planner/op_traits.h"
 #include "simt/stats.h"
 
 namespace regla::runtime {
@@ -146,28 +147,22 @@ int Runtime::preferred_batch(const Signature& sig) const {
 
 namespace {
 
-void validate_f32(planner::Op op, const BatchF& a, const BatchF& b) {
-  REGLA_CHECK_MSG(a.count() > 0 && a.rows() > 0 && a.cols() > 0,
-                  "empty submission");
-  switch (op) {
-    case planner::Op::qr:
-    case planner::Op::lu:
-      REGLA_CHECK_MSG(b.count() == 0,
-                      "qr/lu take no right-hand side; submit a alone");
-      break;
-    case planner::Op::solve_qr:
-    case planner::Op::solve_gj:
-      REGLA_CHECK_MSG(a.rows() == a.cols(), "solves need square problems");
-      REGLA_CHECK_MSG(b.count() == a.count() && b.rows() == a.rows() &&
-                          b.cols() == 1,
-                      "solve rhs must be count x n x 1");
-      break;
-    case planner::Op::least_squares:
-      REGLA_CHECK_MSG(b.count() == a.count() && b.rows() == a.rows() &&
-                          b.cols() == 1,
-                      "least-squares rhs must be count x m x 1");
-      break;
-  }
+/// Traits-driven admission: build a probe Call over the payload-to-be and
+/// let the registry's validator apply the op's shape/RHS rules.
+void validate_f32(planner::Op op, BatchF& a, BatchF& b) {
+  ops::Call call;
+  call.a = &a;
+  if (b.count() > 0) call.b = &b;
+  ops::validate(op, call);
+}
+
+void validate_c64(planner::Op op, BatchC& a) {
+  REGLA_CHECK_MSG(planner::op_traits(op).supports_c64,
+                  "no complex kernels for " << planner::to_string(op)
+                                            << " (paper §VII covers QR only)");
+  ops::Call call;
+  call.ca = &a;
+  ops::validate(op, call);
 }
 
 }  // namespace
@@ -185,10 +180,7 @@ std::future<Report> Runtime::submit(planner::Op op, BatchF a, BatchF b,
 
 std::future<Report> Runtime::submit(planner::Op op, BatchC a,
                                     const core::SolveOptions& opts) {
-  REGLA_CHECK_MSG(op == planner::Op::qr,
-                  "complex submissions support QR only (paper §VII)");
-  REGLA_CHECK_MSG(a.count() > 0 && a.rows() > 0 && a.cols() > 0,
-                  "empty submission");
+  validate_c64(op, a);
   const Signature sig{op, a.rows(), a.cols(), planner::Dtype::c64,
                       opts.threads, opts.layout};
   Payload p;
@@ -211,10 +203,7 @@ std::future<Report> Runtime::submit(planner::Op op, BatchF a, BatchF b,
 
 std::future<Report> Runtime::submit(planner::Op op, BatchC a,
                                     const SubmitOptions& sopts) {
-  REGLA_CHECK_MSG(op == planner::Op::qr,
-                  "complex submissions support QR only (paper §VII)");
-  REGLA_CHECK_MSG(a.count() > 0 && a.rows() > 0 && a.cols() > 0,
-                  "empty submission");
+  validate_c64(op, a);
   const Signature sig{op, a.rows(), a.cols(), planner::Dtype::c64,
                       sopts.solve.threads, sopts.solve.layout};
   Payload p;
@@ -476,25 +465,17 @@ void Runtime::launch(Batch&& batch) {
 }
 
 SolveReport Runtime::solve_one(Stream& s, const Signature& sig, Payload& p) {
-  core::SolveOptions opts;
-  opts.threads = sig.threads;
-  opts.layout = sig.layout;
-  if (p.is_complex) return s.solver.qr(p.ca, nullptr, opts);
-  if (opt_.solve_override) return opt_.solve_override(sig, p.a, p.b);
-  switch (sig.op) {
-    case planner::Op::qr: return s.solver.qr(p.a, nullptr, opts);
-    case planner::Op::lu: return s.solver.lu(p.a, opts);
-    case planner::Op::solve_qr:
-      opts.method = core::SolveMethod::qr;
-      return s.solver.solve(p.a, p.b, opts);
-    case planner::Op::solve_gj:
-      opts.method = core::SolveMethod::gauss_jordan;
-      return s.solver.solve(p.a, p.b, opts);
-    case planner::Op::least_squares:
-      return s.solver.least_squares(p.a, p.b, opts);
+  ops::Call call;
+  call.opts.threads = sig.threads;
+  call.opts.layout = sig.layout;
+  if (p.is_complex) {
+    call.ca = &p.ca;
+  } else {
+    if (opt_.solve_override) return opt_.solve_override(sig, p.a, p.b);
+    call.a = &p.a;
+    if (p.b.count() > 0) call.b = &p.b;
   }
-  REGLA_CHECK(false);
-  return {};
+  return s.solver.run(sig.op, call);
 }
 
 void Runtime::fail_deadline(Pending& req) {
@@ -525,39 +506,17 @@ SolveReport Runtime::solve_cpu(Stream& s, const Signature& sig, Payload& p) {
     ++stats_.fallback_cpu;
   }
   obs::counter("runtime.fallback_cpu").add();
-  cpu::ThreadPool& pool = s.fallback();
-  cpu::BatchTiming t;
+  ops::Call call;
   if (p.is_complex) {
-    t = cpu::batched_qr(p.ca, pool);
+    call.ca = &p.ca;
   } else {
-    switch (sig.op) {
-      case planner::Op::qr:
-        t = cpu::batched_qr(p.a, pool);
-        break;
-      case planner::Op::lu:
-        t = cpu::batched_lu(p.a, /*pivot=*/false, pool);
-        break;
-      case planner::Op::solve_qr:
-        t = cpu::batched_solve_qr(p.a, p.b, pool);
-        break;
-      case planner::Op::solve_gj:
-        t = cpu::batched_solve_gj(p.a, p.b, /*pivot=*/false, pool);
-        break;
-      case planner::Op::least_squares: {
-        BatchF x(p.a.count(), sig.n, 1);
-        t = cpu::batched_least_squares(p.a, p.b, x, pool);
-        // Device contract: x lands in the first n entries of each b.
-        for (int k2 = 0; k2 < x.count(); ++k2)
-          std::copy_n(x.data() + static_cast<std::size_t>(k2) * x.stride(),
-                      sig.n,
-                      p.b.data() + static_cast<std::size_t>(k2) * p.b.stride());
-        break;
-      }
-    }
+    call.a = &p.a;
+    if (p.b.count() > 0) call.b = &p.b;
   }
-  SolveReport r;
-  r.seconds = t.seconds;  // host seconds: the degraded path's real cost
-  return r;
+  // The registered cpu entry mirrors the device op's in-place contract
+  // (least-squares lands x in b, cholesky/trsm flag not_solved) and reports
+  // host seconds: the degraded path's real cost.
+  return ops::run_cpu(sig.op, call, s.fallback());
 }
 
 SolveReport Runtime::solve_resilient(Stream& s, const Signature& sig,

@@ -165,9 +165,11 @@ struct RuntimeOptions {
   int circuit_break_after = 2;
   std::chrono::milliseconds circuit_cooldown{50};
   /// Graceful degradation: when retries are exhausted (or the stream's
-  /// circuit is open), solve on the cpu:: batched solvers instead of
-  /// failing the futures. Numerics agree with the device path; cpu results
-  /// report not_solved empty (the CPU drivers do not flag zero pivots).
+  /// circuit is open), solve on the op's registered cpu reference entry
+  /// instead of failing the futures. Numerics agree with the device path;
+  /// the cpu entries mirror each op's contract (least-squares lands x in b,
+  /// cholesky/trsm flag not_solved; the elimination drivers still throw on a
+  /// zero pivot rather than flagging).
   bool cpu_fallback = false;
   /// Admission control: when a signature queue is full, resolve the new
   /// request's future with QueueSaturated instead of blocking the

@@ -3,8 +3,8 @@
 #include <cmath>
 
 #include "common/error.h"
-#include "core/batched.h"
 #include "core/per_block_ext.h"
+#include "ops/batched_compat.h"
 #include "model/flops.h"
 
 namespace regla::stap {
@@ -78,7 +78,7 @@ StapReport run_stap(regla::simt::Device& dev, const Datacube& cube,
   rep.matrices = sc.num_matrices;
 
   auto batch = assemble_training(cube, sc);
-  const auto outcome = regla::core::batched_qr(dev, batch);
+  const auto outcome = regla::ops::batched_qr(dev, batch);
   rep.gpu_seconds = outcome.seconds;
   rep.gpu_gflops = outcome.gflops();
   rep.approach = regla::core::to_string(outcome.approach);

@@ -14,21 +14,7 @@
 namespace regla::core {
 namespace {
 
-/// SPD batch: A = B B^T + n I.
-void fill_spd(BatchF& batch, std::uint64_t seed) {
-  const int n = batch.rows();
-  for (int k = 0; k < batch.count(); ++k) {
-    Rng rng(seed + k);
-    Matrix<float> b(n, n);
-    fill_uniform(b.view(), rng);
-    for (int j = 0; j < n; ++j)
-      for (int i = 0; i < n; ++i) {
-        float acc = (i == j) ? static_cast<float>(n) : 0.0f;
-        for (int l = 0; l < n; ++l) acc += b(i, l) * b(j, l);
-        batch.at(k, i, j) = acc;
-      }
-  }
-}
+// SPD inputs come from the shared regla::fill_spd generator (A = B B^T/n + I).
 
 float chol_residual(MatrixView<const float> a, MatrixView<const float> l) {
   // ||A - L L^T|| / ||A|| over the lower triangle.

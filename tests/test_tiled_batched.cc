@@ -10,6 +10,11 @@
 #include "cpu/cpu.h"
 #include "test_util.h"
 
+// This suite deliberately pins the legacy core::batched_* contract — the
+// [[deprecated]] forwarders into the op registry must keep behaving exactly
+// as the original dispatch did.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace regla::core {
 namespace {
 
