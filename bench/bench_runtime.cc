@@ -20,8 +20,10 @@
 // writes one coherent chrome://tracing / Perfetto timeline: runtime
 // submit/queue-wait/flush spans, planner plan spans, worker execute spans,
 // and per-phase launch slices. `--stats` prints the obs metric exposition.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <random>
@@ -48,6 +50,50 @@ using Clock = regla::runtime::Clock;
 
 constexpr int kProblemsPerRequest = 4;
 
+// --devices N: run every cell against an N-device fleet (one worker stream
+// per device) instead of the single dev0 with `workers` streams.
+// --kill-device K@t: in each cell, hard-kill fleet device K after t seconds
+// of traffic. The plain sweep arms bounded retry + CPU fallback alongside
+// (its futures are .get() unguarded, so the kill must stay survivable); the
+// resilience sweep already has the full stack on.
+int g_devices = 0;     ///< 0 = legacy single-device shape
+int g_kill_device = -1;
+double g_kill_at_s = 0;
+
+void apply_fleet_flags(RuntimeOptions& opt) {
+  if (g_devices <= 0) return;
+  for (int d = 0; d < g_devices; ++d)
+    opt.devices.push_back(regla::fleet::DeviceSpec{
+        "dev" + std::to_string(d), opt.device, 1});
+}
+
+/// Arms the --kill-device timer for one Runtime's lifetime; joins (and, if
+/// the run outpaced the timer, fires nothing) on destruction.
+class KillTimer {
+ public:
+  explicit KillTimer(Runtime& rt) {
+    if (g_kill_device < 0 || g_kill_device >= rt.fleet().size()) return;
+    thread_ = std::thread([&rt, this] {
+      const auto deadline = Clock::now() +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(g_kill_at_s));
+      while (Clock::now() < deadline) {
+        if (cancelled_.load(std::memory_order_relaxed)) return;
+        std::this_thread::sleep_for(100us);
+      }
+      rt.kill_device(g_kill_device);
+    });
+  }
+  ~KillTimer() {
+    cancelled_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::thread thread_;
+};
+
 struct RunResult {
   double offered_rps = 0;    ///< requests/s actually generated
   double wall_pps = 0;       ///< problems completed / wall second
@@ -62,7 +108,14 @@ RunResult run(int n, double rate_rps, bool coalesce, int requests) {
   opt.workers = 2;
   opt.max_batch_delay = coalesce ? std::chrono::microseconds{500} : 0us;
   opt.max_queue_problems = 1 << 15;  // stay open-loop: never block the arrivals
+  apply_fleet_flags(opt);
+  if (g_kill_device >= 0) {
+    opt.max_retries = 2;
+    opt.retry_backoff = 50us;
+    opt.cpu_fallback = true;
+  }
   Runtime rt(opt);
+  KillTimer killer(rt);
 
   std::mt19937_64 rng(1000 + n);
   std::exponential_distribution<double> interarrival(rate_rps);
@@ -114,7 +167,9 @@ int resilience_sweep(int requests) {
   opt.retry_backoff = std::chrono::microseconds{100};
   opt.cpu_fallback = true;
   opt.shed_on_saturation = true;
+  apply_fleet_flags(opt);
   Runtime rt(opt);
+  KillTimer killer(rt);
 
   std::vector<std::future<Report>> futs;
   futs.reserve(requests);
@@ -196,8 +251,21 @@ int main(int argc, char** argv) {
       print_stats = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       regla::bench::smoke_mode() = true;
+    } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      g_devices = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kill-device") == 0 && i + 1 < argc) {
+      // K@t: kill fleet device K after t seconds of traffic in each cell.
+      const char* spec = argv[++i];
+      const char* at = std::strchr(spec, '@');
+      if (!at || std::sscanf(spec, "%d@%lf", &g_kill_device, &g_kill_at_s) != 2 ||
+          g_kill_device < 0 || g_kill_at_s < 0) {
+        std::fprintf(stderr, "bad --kill-device spec '%s' (want K@t)\n", spec);
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--trace out.json] [--stats] [--smoke]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--trace out.json] [--stats] [--smoke] "
+                   "[--devices N] [--kill-device K@t]\n",
                    argv[0]);
       return 2;
     }

@@ -17,9 +17,19 @@
 //
 //   cmake -B build && cmake --build build -j
 //   ./build/examples/serving
+//
+// Flags:
+//   --devices N        serve both acts from an N-device fleet (one worker
+//                      stream per device) instead of one dev0 with two
+//   --kill-device K@t  in act 2, hard-kill fleet device K after t seconds —
+//                      the resilience stack re-routes its traffic to the
+//                      surviving devices (or the CPU solvers), and the
+//                      accounting contract must still reconcile
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <random>
 #include <thread>
@@ -108,14 +118,43 @@ void print_stats(const runtime::RuntimeStats& st, const FleetResult& r) {
   std::printf("simulated device: %.2f ms busy\n", st.device_seconds * 1e3);
 }
 
+int g_devices = 0;     ///< 0 = the legacy single dev0 with two streams
+int g_kill_device = -1;
+double g_kill_at_s = 0;
+
+void apply_devices(runtime::RuntimeOptions& opt) {
+  if (g_devices <= 0) return;
+  for (int d = 0; d < g_devices; ++d)
+    opt.devices.push_back(fleet::DeviceSpec{
+        "dev" + std::to_string(d), opt.device, 1});
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      g_devices = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kill-device") == 0 && i + 1 < argc) {
+      if (std::sscanf(argv[++i], "%d@%lf", &g_kill_device, &g_kill_at_s) != 2 ||
+          g_kill_device < 0 || g_kill_at_s < 0) {
+        std::fprintf(stderr, "bad --kill-device spec '%s' (want K@t)\n",
+                     argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--devices N] [--kill-device K@t]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("=== act 1: healthy device ===\n");
   {
     runtime::RuntimeOptions opt;
     opt.workers = 2;                 // two device streams execute flushes
     opt.max_batch_delay = 500us;     // stragglers wait at most this long
+    apply_devices(opt);
     runtime::Runtime rt(opt);
     const FleetResult r = run_fleet(rt);
     rt.shutdown();
@@ -135,8 +174,21 @@ int main() {
     opt.retry_backoff = 100us;
     opt.cpu_fallback = true;         // circuit-broken stream degrades to cpu::
     opt.shed_on_saturation = true;   // full queue sheds (QueueSaturated)
+    apply_devices(opt);
     runtime::Runtime rt(opt);
+    // --kill-device: hard-kill mid-traffic; the stack above must absorb it.
+    std::thread killer;
+    if (g_kill_device >= 0 && g_kill_device < rt.fleet().size()) {
+      killer = std::thread([&rt] {
+        std::this_thread::sleep_for(std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(g_kill_at_s)));
+        rt.kill_device(g_kill_device);
+        std::printf("(killed device %d)\n", g_kill_device);
+      });
+    }
     const FleetResult r = run_fleet(rt);
+    if (killer.joinable()) killer.join();
     rt.shutdown();
     const auto st = rt.stats();
     print_stats(st, r);

@@ -23,7 +23,7 @@ BENCHES=(
   bench_fig7_layouts bench_fig8_panels bench_fig9_per_block
   bench_fig10_approaches bench_fig11_mkl_magma bench_fig12_solvers
   bench_fastmath_ablation bench_ext_solvers bench_planner bench_runtime
-  bench_cpu_kernels
+  bench_fleet bench_cpu_kernels
 )
 
 cmake --preset "$PRESET"
@@ -50,6 +50,15 @@ cd ../..
 python3 scripts/check_bench_regression.py \
   --fresh "$dir/bench/bench_results/smoke/runtime.csv" \
   --baseline bench_results/runtime.csv \
+  "$@"
+# Fleet scaling rows: aggregate device pr/s keyed on (act, devices, rate) —
+# catches router-balance regressions, since the aggregate is bounded by the
+# busiest device.
+python3 scripts/check_bench_regression.py \
+  --fresh "$dir/bench/bench_results/smoke/fleet.csv" \
+  --baseline bench_results/fleet.csv \
+  --key-cols "act,devices,rate req/s" \
+  --value-col "agg device pr/s" \
   "$@"
 
 echo "bench smoke: all binaries ran clean"

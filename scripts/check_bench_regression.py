@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_runtime smoke CSV against the committed baseline.
+"""Compare a fresh bench smoke CSV against the committed baseline.
 
-The smoke sweep runs the first rate of each shape with the same (n, rate,
-mode) row keys as the committed full-fidelity bench_results/runtime.csv, so
-the "device pr/s" column — problems per simulated device second, the paper's
-throughput metric, which is deterministic in the simulator and independent of
-host load — is directly comparable. Rows present in only one file are
-reported but never fatal (sweeps legitimately grow and shrink).
+The smoke sweeps keep the same row keys as the committed full-fidelity
+CSVs, so a deterministic-in-the-simulator value column — problems per
+simulated device second, the paper's throughput metric, independent of host
+load — is directly comparable. Rows present in only one file are reported
+but never fatal (sweeps legitimately grow and shrink).
+
+Defaults compare bench_runtime's schema (keys n, rate req/s, mode; value
+"device pr/s"); pass --key-cols / --value-col for other tables, e.g. the
+fleet scaling sweep (keys act, devices, rate req/s; value "agg device
+pr/s").
 
 Warn-only by default: CI prints the deltas and always exits 0 so a noisy
 runner can't block merges. Pass --strict to turn >tolerance deltas into a
@@ -17,17 +21,17 @@ import argparse
 import csv
 import sys
 
-KEY_COLS = ("n", "rate req/s", "mode")
-VALUE_COL = "device pr/s"
+DEFAULT_KEY_COLS = "n,rate req/s,mode"
+DEFAULT_VALUE_COL = "device pr/s"
 
 
-def load(path):
+def load(path, key_cols, value_col):
     rows = {}
     with open(path, newline="") as f:
         for row in csv.DictReader(f):
             try:
-                key = tuple(row[c].strip() for c in KEY_COLS)
-                rows[key] = float(row[VALUE_COL])
+                key = tuple(row[c].strip() for c in key_cols)
+                rows[key] = float(row[value_col])
             except (KeyError, ValueError) as e:
                 sys.exit(f"{path}: bad row {row!r}: {e}")
     if not rows:
@@ -38,28 +42,39 @@ def load(path):
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--fresh", required=True,
-                    help="smoke CSV from this build (bench_results/smoke/runtime.csv)")
+                    help="smoke CSV from this build (bench_results/smoke/...)")
     ap.add_argument("--baseline", required=True,
-                    help="committed baseline (bench_results/runtime.csv)")
+                    help="committed baseline (bench_results/...)")
+    ap.add_argument("--key-cols", default=DEFAULT_KEY_COLS,
+                    help="comma-separated row-key columns "
+                         f"(default: {DEFAULT_KEY_COLS!r})")
+    ap.add_argument("--value-col", default=DEFAULT_VALUE_COL,
+                    help=f"column to compare (default: {DEFAULT_VALUE_COL!r})")
     ap.add_argument("--tolerance", type=float, default=0.15,
-                    help="relative tolerance on '%s' (default 0.15)" % VALUE_COL)
+                    help="relative tolerance on the value column (default 0.15)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 when any shared row regresses past tolerance")
     args = ap.parse_args()
 
-    fresh = load(args.fresh)
-    base = load(args.baseline)
+    key_cols = tuple(c.strip() for c in args.key_cols.split(",") if c.strip())
+    if not key_cols:
+        sys.exit("--key-cols: need at least one column")
+
+    fresh = load(args.fresh, key_cols, args.value_col)
+    base = load(args.baseline, key_cols, args.value_col)
     shared = sorted(fresh.keys() & base.keys())
     if not shared:
         # Key mismatch means the sweep or schema changed — that is worth a
         # loud note, but only --strict makes it fatal.
-        print("bench-regression: no shared (n, rate, mode) rows between "
+        print(f"bench-regression: no shared {key_cols} rows between "
               f"{args.fresh} and {args.baseline}")
         return 1 if args.strict else 0
 
     regressions = []
-    print(f"bench-regression: '{VALUE_COL}', tolerance ±{args.tolerance:.0%}")
-    print(f"{'n':>4} {'rate':>8} {'mode':<9} {'baseline':>14} {'fresh':>14} {'delta':>8}")
+    print(f"bench-regression: '{args.value_col}', "
+          f"tolerance ±{args.tolerance:.0%}")
+    key_width = max(len(" ".join(k)) for k in shared)
+    print(f"{'row':<{key_width}} {'baseline':>14} {'fresh':>14} {'delta':>8}")
     for key in shared:
         b, f = base[key], fresh[key]
         delta = (f - b) / b if b else 0.0
@@ -69,8 +84,8 @@ def main():
             regressions.append((key, delta))
         elif delta > args.tolerance:
             flag = "  (faster)"
-        n, rate, mode = key
-        print(f"{n:>4} {rate:>8} {mode:<9} {b:>14.1f} {f:>14.1f} {delta:>+7.1%}{flag}")
+        print(f"{' '.join(key):<{key_width}} {b:>14.1f} {f:>14.1f} "
+              f"{delta:>+7.1%}{flag}")
 
     for key in sorted(fresh.keys() - base.keys()):
         print(f"note: fresh-only row {key} (no baseline to compare)")

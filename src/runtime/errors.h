@@ -1,6 +1,6 @@
 // The serving runtime's typed error taxonomy.
 //
-// A future obtained from Runtime::submit resolves in exactly one of four
+// A future obtained from Runtime::submit resolves in exactly one of five
 // ways, and a caller can catch each by type:
 //
 //   Report                  the request was solved (possibly after retries,
@@ -18,6 +18,9 @@
 //                           signature queue was full (shed_on_saturation
 //                           policy, or a blocking submit whose deadline
 //                           expired while waiting for space).
+//   NoDeviceAvailable       the fleet had no routable device for the batch
+//                           (all members drained or removed) and no CPU
+//                           fallback is configured.
 //
 // Anything else (a kernel precondition failure, an exception from a
 // solve_override hook) propagates unwrapped, exactly as before.
@@ -45,6 +48,14 @@ class DeadlineExceeded : public regla::Error {
 class QueueSaturated : public regla::Error {
  public:
   explicit QueueSaturated(const std::string& what) : regla::Error(what) {}
+};
+
+/// The fleet had no routable device for the batch (every member drained,
+/// removed, or excluded) and no CPU fallback is configured. Safe to resubmit
+/// after adding or recovering a device.
+class NoDeviceAvailable : public regla::Error {
+ public:
+  explicit NoDeviceAvailable(const std::string& what) : regla::Error(what) {}
 };
 
 }  // namespace regla::runtime

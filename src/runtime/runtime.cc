@@ -61,38 +61,6 @@ std::size_t SignatureHash::operator()(const Signature& s) const {
   return static_cast<std::size_t>(h);
 }
 
-/// A worker stream: its own simulated device and Solver, sharing the
-/// runtime-wide planner (and thus its plan cache) with every sibling. A
-/// stream is held by exactly one worker at a time, so the resilience state
-/// (circuit breaker, fallback pool) needs no locking.
-struct Runtime::Stream {
-  simt::Device dev;
-  Solver solver;
-  int host_threads = 0;
-  /// Exhausted-retry episodes since the last success; trips the breaker.
-  int consecutive_failures = 0;
-  /// While now < broken_until the circuit is open: device attempts are
-  /// skipped and solves degrade straight to the CPU path.
-  Clock::time_point broken_until{};
-  /// CPU-fallback workers, built on first use. Per stream because
-  /// ThreadPool::parallel_for must be externally serialized — the global
-  /// pool would race across concurrently-degrading streams.
-  std::unique_ptr<cpu::ThreadPool> fallback_pool;
-
-  Stream(const simt::DeviceConfig& cfg, std::shared_ptr<planner::Planner> p,
-         int threads)
-      : dev(cfg), solver(dev, std::move(p)), host_threads(threads) {
-    if (host_threads > 0) dev.set_host_workers(host_threads);
-  }
-
-  cpu::ThreadPool& fallback() {
-    if (!fallback_pool)
-      fallback_pool =
-          std::make_unique<cpu::ThreadPool>(std::max(1, host_threads));
-    return *fallback_pool;
-  }
-};
-
 Runtime::Runtime(Options opt)
     : opt_(std::move(opt)),
       wheel_(Clock::now(), opt_.timer_granularity <= decltype(opt_.timer_granularity){0}
@@ -107,20 +75,28 @@ Runtime::Runtime(Options opt)
   opt_.target_waves = std::max(1, opt_.target_waves);
   planner_ = std::make_shared<planner::Planner>(opt_.planner);
 
-  int host_threads = opt_.host_threads_per_stream;
-  if (host_threads <= 0) {
-    const int hw = static_cast<int>(std::thread::hardware_concurrency());
-    host_threads = std::max(1, hw / opt_.workers);
+  fleet::Fleet::Options fopt;
+  fopt.devices = opt_.devices;
+  if (fopt.devices.empty()) {
+    // Legacy single-device shape: one member carrying all worker streams.
+    fleet::DeviceSpec spec;
+    spec.name = "dev0";
+    spec.config = opt_.device;
+    spec.streams = opt_.workers;
+    fopt.devices.push_back(std::move(spec));
   }
-  streams_.reserve(opt_.workers);
-  for (int i = 0; i < opt_.workers; ++i) {
-    streams_.push_back(
-        std::make_unique<Stream>(opt_.device, planner_, host_threads));
-    free_streams_.push_back(streams_.back().get());
-  }
-  // workers + 1 so the pool has exactly `workers` helper threads for
-  // submit() jobs (the constructing thread only counts for parallel_for).
-  pool_ = std::make_unique<cpu::ThreadPool>(opt_.workers + 1);
+  fopt.host_threads_per_stream = opt_.host_threads_per_stream;
+  fopt.router = opt_.router;
+  fopt.circuit_break_after = opt_.circuit_break_after;
+  fopt.circuit_cooldown = opt_.circuit_cooldown;
+  fopt.planner = planner_;
+  fleet_ = std::make_unique<fleet::Fleet>(std::move(fopt));
+
+  // streams + spares + 1 so the pool has one helper thread per stream (the
+  // constructing thread only counts for parallel_for) plus headroom for
+  // streams added under load via add_device().
+  pool_ = std::make_unique<cpu::ThreadPool>(fleet_->total_streams() +
+                                            kSpareStreamWorkers + 1);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -136,7 +112,10 @@ Runtime::~Runtime() {
 int Runtime::preferred_batch(const Signature& sig) const {
   const planner::ProblemDesc desc{sig.op, sig.m, sig.n,
                                   opt_.max_flush_problems, sig.dtype};
-  const planner::Plan plan = planner_->plan(opt_.device, desc);
+  // Batch targets are computed against the first non-removed device; in a
+  // heterogeneous fleet the router may still place the batch elsewhere (the
+  // target is a coalescing goal, not a placement promise).
+  const planner::Plan plan = planner_->plan(fleet_->primary_config(), desc);
   const long target = static_cast<long>(std::max(1, plan.concurrent)) *
                       opt_.target_waves;
   return static_cast<int>(
@@ -464,7 +443,8 @@ void Runtime::launch(Batch&& batch) {
   });
 }
 
-SolveReport Runtime::solve_one(Stream& s, const Signature& sig, Payload& p) {
+SolveReport Runtime::solve_one(fleet::Stream& s, const Signature& sig,
+                               Payload& p) {
   ops::Call call;
   call.opts.threads = sig.threads;
   call.opts.layout = sig.layout;
@@ -475,7 +455,7 @@ SolveReport Runtime::solve_one(Stream& s, const Signature& sig, Payload& p) {
     call.a = &p.a;
     if (p.b.count() > 0) call.b = &p.b;
   }
-  return s.solver.run(sig.op, call);
+  return s.solver().run(sig.op, call);
 }
 
 void Runtime::fail_deadline(Pending& req) {
@@ -496,7 +476,8 @@ void Runtime::fail_deadline(Pending& req) {
   obs::counter("runtime.deadline_exceeded").add();
 }
 
-SolveReport Runtime::solve_cpu(Stream& s, const Signature& sig, Payload& p) {
+SolveReport Runtime::solve_cpu(cpu::ThreadPool& pool, const Signature& sig,
+                               Payload& p) {
   // Graceful degradation: the cpu:: batched drivers, same in-place contract
   // as the device path. Shows on the trace as its own span so a degraded
   // period is visible at a glance.
@@ -516,39 +497,64 @@ SolveReport Runtime::solve_cpu(Stream& s, const Signature& sig, Payload& p) {
   // The registered cpu entry mirrors the device op's in-place contract
   // (least-squares lands x in b, cholesky/trsm flag not_solved) and reports
   // host seconds: the degraded path's real cost.
-  return ops::run_cpu(sig.op, call, s.fallback());
+  return ops::run_cpu(sig.op, call, pool);
 }
 
-SolveReport Runtime::solve_resilient(Stream& s, const Signature& sig,
-                                     Payload& p, SolveOutcome& outcome) {
-  if (opt_.max_retries <= 0 && !opt_.cpu_fallback)
-    return solve_one(s, sig, p);  // resilience off: zero-copy fast path
+SolveReport Runtime::solve_cpu_unleased(const Signature& sig, Payload& p) {
+  // No stream lease, so no per-stream fallback pool to borrow; serialize on
+  // the runtime's own (parallel_for is not reentrant).
+  std::lock_guard<std::mutex> lock(no_device_mu_);
+  if (!no_device_pool_) no_device_pool_ = std::make_unique<cpu::ThreadPool>(1);
+  return solve_cpu(*no_device_pool_, sig, p);
+}
 
-  // Circuit open: skip the device entirely while it cools down.
-  if (opt_.cpu_fallback && Clock::now() < s.broken_until) {
+SolveReport Runtime::solve_resilient(fleet::Lease& lease, const Signature& sig,
+                                     Payload& p, SolveOutcome& outcome) {
+  outcome.device_id = lease.device_id();
+  outcome.device = lease.device_name();
+  if (opt_.max_retries <= 0 && !opt_.cpu_fallback) {
+    // Resilience off: zero-copy fast path. A killed device still fails its
+    // launches — that is what being dead means — and the exception rides the
+    // usual isolation path to the futures.
+    if (lease.killed())
+      throw TransientLaunchFailure("device " + lease.device_name() +
+                                   " was killed");
+    SolveReport r = solve_one(lease.stream(), sig, p);
+    fleet_->record_success(lease, p.problems(), r.seconds);
+    return r;
+  }
+
+  // Circuit open on every routable device (the router only hands out an
+  // open-circuit lease when no closed one exists): skip the device entirely
+  // while it cools down.
+  if (opt_.cpu_fallback && lease.circuit_open()) {
     outcome.on_cpu = true;
-    return solve_cpu(s, sig, p);
+    return solve_cpu(lease.stream().fallback(), sig, p);
   }
 
   // A transient failure can abort mid-chain (tiled solves launch several
   // kernels), leaving the payload partially factored — every retry must
   // restart from pristine input.
   const Payload snapshot = p;
-  for (int attempt = 0;; ++attempt) {
+  std::uint64_t exclude = 0;
+  for (int attempt = 0;;) {
     try {
-      SolveReport r = solve_one(s, sig, p);
-      s.consecutive_failures = 0;
+      if (lease.killed())
+        throw TransientLaunchFailure("device " + lease.device_name() +
+                                     " was killed");
+      SolveReport r = solve_one(lease.stream(), sig, p);
+      fleet_->record_success(lease, p.problems(), r.seconds);
       return r;
     } catch (const TransientLaunchFailure&) {
       p = snapshot;
       if (attempt < opt_.max_retries) {
-        outcome.retries = attempt + 1;
+        outcome.retries = ++attempt;
         {
           std::lock_guard<std::mutex> slock(stats_mu_);
           ++stats_.retries;
         }
         obs::counter("runtime.retries").add();
-        auto backoff = opt_.retry_backoff * (1ll << std::min(attempt, 20));
+        auto backoff = opt_.retry_backoff * (1ll << std::min(attempt - 1, 20));
         if (backoff > opt_.retry_backoff_cap) backoff = opt_.retry_backoff_cap;
         if (backoff.count() > 0) {
           obs::Span wait("runtime.retry-backoff", "runtime");
@@ -556,20 +562,51 @@ SolveReport Runtime::solve_resilient(Stream& s, const Signature& sig,
         }
         continue;
       }
-      // Retries exhausted: trip the breaker, then degrade or give up.
-      if (opt_.circuit_break_after > 0 &&
-          ++s.consecutive_failures >= opt_.circuit_break_after) {
-        s.broken_until = Clock::now() + opt_.circuit_cooldown;
-        s.consecutive_failures = 0;
+      // Retries exhausted here: advance this device's breaker, then try to
+      // re-route the batch to a different fleet member before degrading.
+      if (fleet_->record_exhausted(lease)) {
         {
           std::lock_guard<std::mutex> slock(stats_mu_);
           ++stats_.circuit_opens;
         }
         obs::counter("runtime.circuit_opens").add();
       }
+      const int failed_id = lease.device_id();
+      if (failed_id >= 0 && failed_id < 64) exclude |= 1ull << failed_id;
+      // Release the dead device's stream BEFORE re-acquiring: acquire blocks
+      // while eligible siblings are busy, and a waiter that held a stream
+      // could deadlock against a sibling waiting the other way.
+      lease.release();
+      const planner::ProblemDesc desc{sig.op, sig.m, sig.n, p.problems(),
+                                      sig.dtype};
+      auto next = fleet_->acquire(desc, exclude);
+      if (next && !next->circuit_open()) {
+        fleet_->record_reroute_away(failed_id);
+        lease = std::move(*next);
+        outcome.device_id = lease.device_id();
+        outcome.device = lease.device_name();
+        {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.reroutes;
+        }
+        obs::counter("runtime.reroutes").add();
+        attempt = 0;  // a fresh device gets the full retry budget
+        continue;
+      }
+      // No healthy sibling: only open-circuit devices remain (degrade on
+      // that lease's stream) or nothing is routable at all (degrade on the
+      // runtime's own pool).
       if (opt_.cpu_fallback) {
         outcome.on_cpu = true;
-        return solve_cpu(s, sig, p);
+        if (next) {
+          lease = std::move(*next);
+          outcome.device_id = lease.device_id();
+          outcome.device = lease.device_name();
+          return solve_cpu(lease.stream().fallback(), sig, p);
+        }
+        outcome.device_id = -1;
+        outcome.device.clear();
+        return solve_cpu_unleased(sig, p);
       }
       throw;
     }
@@ -610,6 +647,8 @@ void Runtime::fulfill(Pending& req, const SolveReport& batch_report,
       std::chrono::duration<double>(started - req.enqueued).count();
   r.retries = outcome.retries;
   r.solved_on_cpu = outcome.on_cpu;
+  r.device_id = outcome.device_id;
+  r.device = outcome.device;
   r.a = std::move(req.payload.a);
   r.b = std::move(req.payload.b);
   r.ca = std::move(req.payload.ca);
@@ -650,30 +689,24 @@ void Runtime::execute(Batch& batch) {
     }
     if (batch.requests.empty()) return;  // nothing left to execute
   }
-  // Acquire a worker stream (there are exactly `workers` of them, matching
-  // the pool's helper threads, so this only blocks if outside work shares
-  // the pool).
-  Stream* stream = nullptr;
+  // Route the batch: the fleet picks a device by queue depth, plan-cache
+  // affinity, and circuit state, and leases one of its streams (RAII — the
+  // stream returns to its device even if an exception escapes below).
+  // Blocks while every eligible device is busy; nullopt means nothing is
+  // routable at all (everything drained or removed mid-flight).
+  const planner::ProblemDesc route_desc{batch.sig.op, batch.sig.m,
+                                        batch.sig.n, batch.problems,
+                                        batch.sig.dtype};
+  std::optional<fleet::Lease> leased;
   {
     obs::Span wait_span("runtime.stream-wait", "runtime");
-    std::unique_lock<std::mutex> lock(stream_mu_);
-    cv_stream_.wait(lock, [&] { return !free_streams_.empty(); });
-    stream = free_streams_.back();
-    free_streams_.pop_back();
+    leased = fleet_->acquire(route_desc);
   }
-  // RAII so the stream returns to the free list even if an exception
-  // escapes below; losing one would shrink the pool for good.
-  struct StreamGuard {
-    Runtime* rt;
-    Stream* s;
-    ~StreamGuard() {
-      {
-        std::lock_guard<std::mutex> lock(rt->stream_mu_);
-        rt->free_streams_.push_back(s);
-      }
-      rt->cv_stream_.notify_one();
-    }
-  } stream_guard{this, stream};
+  if (!leased) {
+    execute_no_device(batch, Clock::now());
+    return;
+  }
+  fleet::Lease lease = std::move(*leased);
   const Clock::time_point started = Clock::now();
 
   // The device-facing part alone (stream held, solver running).
@@ -684,9 +717,12 @@ void Runtime::execute(Batch& batch) {
   try {
     if (batch.requests.size() == 1) {
       // Single request: solve its payload in place, no assembly copy.
-      const SolveReport r = solve_resilient(*stream, batch.sig,
+      const SolveReport r = solve_resilient(lease, batch.sig,
                                             batch.requests[0].payload, outcome);
       device_seconds += r.seconds;
+      // The device's work is done: free the stream before delivering the
+      // future, so a caller unblocked by .get() can immediately route here.
+      lease.release();
       fulfill(batch.requests[0], r, batch, 0, started, outcome);
     } else if (batch.requests.front().payload.is_complex) {
       BatchC big(batch.problems, batch.sig.m, batch.sig.n);
@@ -699,9 +735,10 @@ void Runtime::execute(Batch& batch) {
       Payload coalesced;
       coalesced.ca = std::move(big);
       coalesced.is_complex = true;
-      const SolveReport r = solve_resilient(*stream, batch.sig, coalesced,
+      const SolveReport r = solve_resilient(lease, batch.sig, coalesced,
                                             outcome);
       device_seconds += r.seconds;
+      lease.release();  // scatter + delivery below don't need the stream
       off = 0;
       for (Pending& req : batch.requests) {
         std::copy_n(coalesced.ca.data() + off * coalesced.ca.stride(),
@@ -728,9 +765,10 @@ void Runtime::execute(Batch& batch) {
       Payload coalesced;
       coalesced.a = std::move(big_a);
       coalesced.b = std::move(big_b);
-      const SolveReport r = solve_resilient(*stream, batch.sig, coalesced,
+      const SolveReport r = solve_resilient(lease, batch.sig, coalesced,
                                             outcome);
       device_seconds += r.seconds;
+      lease.release();  // scatter + delivery below don't need the stream
       off = 0;
       for (Pending& req : batch.requests) {
         const int k = req.payload.a.count();
@@ -747,6 +785,17 @@ void Runtime::execute(Batch& batch) {
     poisoned = true;
   }
 
+  if (poisoned && !lease) {
+    // The resilience policy released the lease (re-route found nothing) and
+    // the failure propagated. Re-acquire for the isolation pass; if the
+    // fleet has nothing routable left, finish on the no-device path.
+    auto again = fleet_->acquire(route_desc);
+    if (!again) {
+      execute_no_device(batch, started);
+      return;
+    }
+    lease = std::move(*again);
+  }
   if (poisoned) {
     // Exception isolation: one bad request must not poison its batchmates.
     // Re-run each request alone; only the ones that still throw get the
@@ -758,9 +807,20 @@ void Runtime::execute(Batch& batch) {
     }
     for (Pending& req : batch.requests) {
       try {
+        if (!lease) {
+          // An earlier solo run's re-route dead-ended and released the
+          // lease (that only happens with cpu_fallback off, where the
+          // failure propagates). Take a fresh lease for this request; with
+          // nothing routable its future gets the typed no-device error.
+          auto again = fleet_->acquire(route_desc);
+          if (!again)
+            throw NoDeviceAvailable(
+                "no routable fleet device (all drained or removed)");
+          lease = std::move(*again);
+        }
         SolveOutcome solo_outcome;
         const SolveReport r =
-            solve_resilient(*stream, batch.sig, req.payload, solo_outcome);
+            solve_resilient(lease, batch.sig, req.payload, solo_outcome);
         device_seconds += r.seconds;
         Batch solo;
         solo.sig = batch.sig;
@@ -788,6 +848,59 @@ void Runtime::execute(Batch& batch) {
   }
 
   record_batch_stats(batch, device_seconds);
+}
+
+void Runtime::execute_no_device(Batch& batch, Clock::time_point started) {
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.no_device;
+  }
+  obs::counter("runtime.no_device").add();
+  if (!opt_.cpu_fallback) {
+    for (Pending& req : batch.requests) {
+      bool delivered = true;
+      try {
+        req.promise.set_exception(std::make_exception_ptr(NoDeviceAvailable(
+            "no routable fleet device (all drained or removed)")));
+      } catch (const std::future_error&) {
+        delivered = false;  // already satisfied on another path
+      }
+      if (delivered) {
+        record_latency(req.enqueued);
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.failed_requests;
+      }
+    }
+    return;
+  }
+  // Graceful degradation with no device at all: solve per request on the
+  // cpu entries (no point assembling a coalesced batch no device will see).
+  SolveOutcome outcome;
+  outcome.on_cpu = true;
+  for (Pending& req : batch.requests) {
+    try {
+      const SolveReport r = solve_cpu_unleased(batch.sig, req.payload);
+      Batch solo;
+      solo.sig = batch.sig;
+      solo.reason = batch.reason;
+      solo.problems = req.payload.problems();
+      solo.requests.resize(1);  // only for the counts in the Report
+      fulfill(req, r, solo, 0, started, outcome);
+    } catch (...) {
+      bool delivered = true;
+      try {
+        req.promise.set_exception(std::current_exception());
+      } catch (const std::future_error&) {
+        delivered = false;
+      }
+      if (delivered) {
+        record_latency(req.enqueued);
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.failed_requests;
+      }
+    }
+  }
+  record_batch_stats(batch, 0);
 }
 
 // --- Draining --------------------------------------------------------------

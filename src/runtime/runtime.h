@@ -7,11 +7,15 @@
 // (op, m, n, dtype, solve options), and a queue flushes to the device when
 // it has collected the planner's model-preferred batch (one full launch
 // wave, Plan::concurrent) or when the oldest request's deadline
-// (max_batch_delay) expires — whichever comes first. Flushed batches run on
-// a pool of worker streams (each stream owns a Device + Solver; all streams
-// share one planner, so a signature planned anywhere is a plan-cache hit
-// everywhere), and per-problem results scatter back to each submitter's
-// future.
+// (max_batch_delay) expires — whichever comes first. Flushed batches are
+// placed on a fleet of devices (fleet/fleet.h): each fleet member owns its
+// worker streams (a Device + Solver per stream; every stream shares one
+// planner, so a signature planned anywhere is a plan-cache hit everywhere),
+// the router picks the member by queue depth / plan-cache affinity /
+// circuit state, and per-problem results scatter back to each submitter's
+// future. Devices can be added, drained, removed, or die mid-traffic; a
+// batch whose device fails re-routes to a healthy sibling before the CPU
+// fallback kicks in.
 //
 //   runtime::Runtime rt;
 //   BatchF a(4, 32, 32);  // four 32x32 problems from this caller
@@ -48,6 +52,7 @@
 #include <vector>
 
 #include "cpu/thread_pool.h"
+#include "fleet/fleet.h"
 #include "planner/solver.h"
 #include "runtime/errors.h"
 #include "runtime/timer_wheel.h"
@@ -101,6 +106,10 @@ struct Report : SolveReport {
   /// The result came from the cpu:: solvers (graceful degradation after the
   /// device stream was circuit-broken or retries were exhausted).
   bool solved_on_cpu = false;
+  /// Fleet device the producing solve ran on (-1 / empty when the solve
+  /// never held a device lease — the no-device cpu path).
+  int device_id = -1;
+  std::string device;
   BatchF a;                    ///< the request's matrices, results in place
   BatchF b;                    ///< rhs / solutions (solve and least-squares)
   BatchC ca;                   ///< complex payload (c64 QR submissions)
@@ -119,8 +128,16 @@ struct SubmitOptions {
 };
 
 struct RuntimeOptions {
-  /// Worker streams; each owns a simulated Device + Solver. Flushes from
-  /// different signatures execute concurrently across streams.
+  /// The fleet: every entry is a device (heterogeneous configs allowed) with
+  /// its own worker streams; coalesced batches are routed across them by
+  /// queue depth, plan-cache affinity, and circuit state (fleet/router.h).
+  /// Empty = the single-device legacy shape: one member named "dev0" built
+  /// from `device` below with `workers` streams.
+  std::vector<fleet::DeviceSpec> devices;
+  /// Placement policy knobs for the fleet router.
+  fleet::RouterOptions router;
+  /// Worker streams for the legacy single-device shape (ignored when
+  /// `devices` is set; stream counts then come from each DeviceSpec).
   int workers = 2;
   /// Host threads each stream's Device uses to run independent blocks
   /// (0 = hardware_concurrency / workers, so streams do not oversubscribe).
@@ -141,7 +158,8 @@ struct RuntimeOptions {
   /// Timer wheel slot width for deadline tracking.
   std::chrono::microseconds timer_granularity{100};
   std::size_t timer_slots = 256;
-  /// Device configuration every worker stream is built with.
+  /// Device configuration for the legacy single-device shape (and the
+  /// default config for `devices` entries that do not set one).
   simt::DeviceConfig device = simt::DeviceConfig::quadro6000();
   /// Options for the shared planner. Autotune must stay off (measuring
   /// through a shared planner would race across worker devices).
@@ -160,13 +178,15 @@ struct RuntimeOptions {
   /// Exponential backoff before retry k sleeps retry_backoff * 2^k, capped.
   std::chrono::microseconds retry_backoff{50};
   std::chrono::microseconds retry_backoff_cap{5000};
-  /// Consecutive exhausted-retry episodes that open a stream's circuit
-  /// breaker, and how long it stays open (device attempts skipped).
+  /// Consecutive exhausted-retry episodes that open a device's circuit
+  /// breaker, and how long it stays open (the router then avoids the device
+  /// while any sibling's breaker is closed).
   int circuit_break_after = 2;
   std::chrono::milliseconds circuit_cooldown{50};
-  /// Graceful degradation: when retries are exhausted (or the stream's
-  /// circuit is open), solve on the op's registered cpu reference entry
-  /// instead of failing the futures. Numerics agree with the device path;
+  /// Graceful degradation: when retries are exhausted the batch first tries
+  /// to re-route to a different fleet device; only when no other device is
+  /// available (or the whole fleet is circuit-open) does it solve on the
+  /// op's registered cpu reference entry instead of failing the futures. Numerics agree with the device path;
   /// the cpu entries mirror each op's contract (least-squares lands x in b,
   /// cholesky/trsm flag not_solved; the elimination drivers still throw on a
   /// zero pivot rather than flagging).
@@ -203,7 +223,11 @@ struct RuntimeStats {
   std::uint64_t shed = 0;               ///< futures failed QueueSaturated at admission
   std::uint64_t deadline_exceeded = 0;  ///< futures failed DeadlineExceeded
   std::uint64_t fallback_cpu = 0;       ///< solves degraded to the cpu:: path
-  std::uint64_t circuit_opens = 0;      ///< stream circuit-breaker trips
+  std::uint64_t circuit_opens = 0;      ///< device circuit-breaker trips
+  std::uint64_t reroutes = 0;           ///< batches moved to a sibling device
+                                        ///< after exhausting retries on one
+  std::uint64_t no_device = 0;          ///< batches that found no routable
+                                        ///< device (all drained/removed)
   /// Simulated device time consumed by executed batches (the launches'
   /// SolveReport::seconds summed) — the device-side cost coalescing
   /// amortizes, independent of how fast the host simulates it.
@@ -282,6 +306,20 @@ class Runtime {
   std::shared_ptr<planner::Planner> planner() const { return planner_; }
   const Options& options() const { return opt_; }
 
+  /// The device fleet batches are routed over (stats, metrics, lifecycle).
+  fleet::Fleet& fleet() { return *fleet_; }
+  const fleet::Fleet& fleet() const { return *fleet_; }
+  /// Lifecycle conveniences, forwarded to the fleet. Added streams share the
+  /// existing worker-thread pool, which is provisioned with spare threads
+  /// (kSpareStreamWorkers) so a device added under load gains real
+  /// concurrency, not just a queue position.
+  int add_device(fleet::DeviceSpec spec) {
+    return fleet_->add_device(std::move(spec));
+  }
+  void drain_device(int id) { fleet_->drain(id); }
+  void remove_device(int id) { fleet_->remove(id); }
+  void kill_device(int id) { fleet_->kill(id); }
+
   /// The model-preferred flush size for a signature (target_waves full
   /// launch waves of the planned kernel), as the queues use it.
   int preferred_batch(const Signature& sig) const;
@@ -315,7 +353,6 @@ class Runtime {
     /// deadline-reason flush, never a late one.
     Clock::time_point min_deadline = Clock::time_point::max();
   };
-  struct Stream;  // Device + Solver, defined in runtime.cc
   struct Batch {
     Signature sig;
     std::vector<Pending> requests;
@@ -332,19 +369,33 @@ class Runtime {
   void update_timer(Queue& q);
   void launch(Batch&& batch);
   void execute(Batch& batch);
-  SolveReport solve_one(Stream& s, const Signature& sig, Payload& p);
+  /// The no-routable-device path: every eligible fleet member is drained or
+  /// removed. Solves per request on the cpu entries when cpu_fallback is on,
+  /// otherwise fails the futures with NoDeviceAvailable.
+  void execute_no_device(Batch& batch, Clock::time_point started);
+  SolveReport solve_one(fleet::Stream& s, const Signature& sig, Payload& p);
   /// What a resilient solve did beyond producing the report.
   struct SolveOutcome {
     int retries = 0;
     bool on_cpu = false;
+    int device_id = -1;
+    std::string device;
   };
   /// solve_one wrapped in the resilience policy: bounded backoff retry on
-  /// TransientLaunchFailure, circuit breaker per stream, optional CPU
-  /// fallback. Throws only when the policy is out of options.
-  SolveReport solve_resilient(Stream& s, const Signature& sig, Payload& p,
-                              SolveOutcome& outcome);
-  /// Graceful degradation: the same contract as solve_one, on cpu:: solvers.
-  SolveReport solve_cpu(Stream& s, const Signature& sig, Payload& p);
+  /// TransientLaunchFailure; on exhaustion the per-device circuit breaker
+  /// advances and the batch re-routes to a different fleet device (the lease
+  /// is swapped in place), then — out of devices — degrades to the optional
+  /// CPU fallback. Throws only when the policy is out of options.
+  SolveReport solve_resilient(fleet::Lease& lease, const Signature& sig,
+                              Payload& p, SolveOutcome& outcome);
+  /// Graceful degradation: the same contract as solve_one, on cpu:: solvers
+  /// running over `pool` (a leased stream's fallback pool, or the runtime's
+  /// own no-device pool via solve_cpu_unleased).
+  SolveReport solve_cpu(cpu::ThreadPool& pool, const Signature& sig,
+                        Payload& p);
+  /// solve_cpu on the runtime-level pool, serialized on no_device_mu_ — for
+  /// solves that hold no stream lease at all.
+  SolveReport solve_cpu_unleased(const Signature& sig, Payload& p);
   /// Resolve a request's future with DeadlineExceeded (counts + latency).
   void fail_deadline(Pending& req);
   void fulfill(Pending& req, const SolveReport& batch_report,
@@ -355,10 +406,21 @@ class Runtime {
   void record_latency(Clock::time_point enqueued);
   void export_stats() const;  // requires stats_mu_ held
 
+  /// Spare pool threads beyond the initial stream count, so devices added
+  /// under load (up to this many extra streams) gain real concurrency.
+  static constexpr int kSpareStreamWorkers = 4;
+
   Options opt_;
   std::shared_ptr<planner::Planner> planner_;
-  std::vector<std::unique_ptr<Stream>> streams_;
+  /// Declared before pool_: pool jobs reference the fleet, so the pool must
+  /// drain and join first when the Runtime is destroyed.
+  std::unique_ptr<fleet::Fleet> fleet_;
   std::unique_ptr<cpu::ThreadPool> pool_;
+  /// Lazy workers for the no-routable-device cpu path (no stream to borrow a
+  /// fallback pool from); solves there serialize on no_device_mu_ because
+  /// ThreadPool::parallel_for is not reentrant.
+  std::mutex no_device_mu_;
+  std::unique_ptr<cpu::ThreadPool> no_device_pool_;
 
   mutable std::mutex mu_;  ///< queues, wheel, inflight, closed
   std::unordered_map<Signature, Queue, SignatureHash> queues_;
@@ -371,10 +433,6 @@ class Runtime {
   std::condition_variable cv_space_;     ///< backpressure waiters
   std::condition_variable cv_idle_;      ///< wait_idle / shutdown drain
   std::condition_variable cv_dispatch_;  ///< dispatcher timer wakeups
-
-  std::mutex stream_mu_;
-  std::condition_variable cv_stream_;
-  std::vector<Stream*> free_streams_;
 
   mutable std::mutex stats_mu_;
   RuntimeStats stats_;

@@ -1,5 +1,6 @@
-// Tests for the tiled QR path, the batched dispatch API, and the per-block
-// GEMM / per-thread eigensolver extensions.
+// Tests for the tiled QR path, the batched dispatch API (via the supported
+// ops::batched_* entry points), and the per-block GEMM / per-thread
+// eigensolver extensions.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -8,12 +9,8 @@
 #include "common/norms.h"
 #include "core/core.h"
 #include "cpu/cpu.h"
+#include "ops/batched_compat.h"
 #include "test_util.h"
-
-// This suite deliberately pins the legacy core::batched_* contract — the
-// [[deprecated]] forwarders into the op registry must keep behaving exactly
-// as the original dispatch did.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace regla::core {
 namespace {
@@ -127,7 +124,7 @@ TEST(BatchedApi, QrAllThreePaths) {
     BatchF b(50, 8, 8), orig(50, 8, 8), taus;
     fill_uniform(b, 1);
     orig = b;
-    auto out = batched_qr(dev, b, &taus);
+    auto out = ops::batched_qr(dev, b, &taus);
     EXPECT_EQ(out.approach, Approach::per_thread);
     EXPECT_LT(testing::worst_packed_qr_error(b, orig, taus), 5e-5f);
   }
@@ -136,7 +133,7 @@ TEST(BatchedApi, QrAllThreePaths) {
     BatchF b(4, 48, 48), orig(4, 48, 48), taus;
     fill_uniform(b, 2);
     orig = b;
-    auto out = batched_qr(dev, b, &taus);
+    auto out = ops::batched_qr(dev, b, &taus);
     EXPECT_EQ(out.approach, Approach::per_block);
     EXPECT_LT(testing::worst_packed_qr_error(b, orig, taus), 2e-4f);
   }
@@ -145,7 +142,7 @@ TEST(BatchedApi, QrAllThreePaths) {
     BatchF b(2, 300, 40), orig(2, 300, 40);
     fill_uniform(b, 3);
     orig = b;
-    auto out = batched_qr(dev, b);
+    auto out = ops::batched_qr(dev, b);
     EXPECT_EQ(out.approach, Approach::tiled);
     Matrix<float> cpu_copy(300, 40);
     for (int j = 0; j < 40; ++j)
@@ -160,7 +157,7 @@ TEST(BatchedApi, TiledRefusesTauExport) {
   simt::Device dev;
   BatchF b(1, 300, 40), taus;
   fill_uniform(b, 3);
-  EXPECT_THROW(batched_qr(dev, b, &taus), Error);
+  EXPECT_THROW(ops::batched_qr(dev, b, &taus), Error);
 }
 
 TEST(BatchedApi, SolvePaths) {
@@ -169,13 +166,13 @@ TEST(BatchedApi, SolvePaths) {
   fill_diag_dominant(a, 4);
   fill_uniform(b, 5);
   BatchF a0 = a, b0 = b;
-  auto out = batched_solve(dev, a, b, SolveOptions{.method = SolveMethod::qr});
+  auto out = ops::batched_solve(dev, a, b, SolveOptions{.method = SolveMethod::qr});
   EXPECT_EQ(out.approach, Approach::per_block);
   EXPECT_LT(testing::worst_solve_residual(a0, b, b0), 2e-4f);
 
   BatchF a2 = a0, b2 = b0;
-  auto out2 = batched_solve(dev, a2, b2,
-                            SolveOptions{.method = SolveMethod::gauss_jordan});
+  auto out2 = ops::batched_solve(
+      dev, a2, b2, SolveOptions{.method = SolveMethod::gauss_jordan});
   EXPECT_LT(testing::worst_solve_residual(a0, b2, b0), 2e-4f);
   EXPECT_EQ(out2.approach, Approach::per_block);
 
@@ -183,8 +180,8 @@ TEST(BatchedApi, SolvePaths) {
   fill_diag_dominant(a3, 7);
   fill_uniform(b3, 8);
   BatchF a30 = a3, b30 = b3;
-  auto out3 = batched_solve(dev, a3, b3,
-                            SolveOptions{.method = SolveMethod::gauss_jordan});
+  auto out3 = ops::batched_solve(
+      dev, a3, b3, SolveOptions{.method = SolveMethod::gauss_jordan});
   EXPECT_EQ(out3.approach, Approach::per_thread);
   EXPECT_LT(testing::worst_solve_residual(a30, b3, b30), 5e-5f);
 }
@@ -194,13 +191,13 @@ TEST(BatchedApi, LuPaths) {
   BatchF small(30, 10, 10), small0(30, 10, 10);
   fill_diag_dominant(small, 9);
   small0 = small;
-  EXPECT_EQ(batched_lu(dev, small).approach, Approach::per_thread);
+  EXPECT_EQ(ops::batched_lu(dev, small).approach, Approach::per_thread);
   EXPECT_LT(testing::worst_lu_residual(small0, small), 5e-5f);
 
   BatchF big(3, 40, 40), big0(3, 40, 40);
   fill_diag_dominant(big, 10);
   big0 = big;
-  EXPECT_EQ(batched_lu(dev, big).approach, Approach::per_block);
+  EXPECT_EQ(ops::batched_lu(dev, big).approach, Approach::per_block);
   EXPECT_LT(testing::worst_lu_residual(big0, big), 2e-4f);
 }
 
