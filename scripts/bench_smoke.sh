@@ -46,6 +46,14 @@ for b in "${BENCHES[@]}"; do
   timeout 600 "./$b" --smoke
 done
 
+# Replay soundness gate (DESIGN.md §13): one more smoke pass with every
+# replay-cache hit re-simulated and cross-checked block by block. A
+# replay/full-simulation accounting mismatch aborts the run, so a model
+# change that silently breaks replay's uniformity assumption fails here
+# instead of skewing throughput numbers.
+echo "== bench_runtime --smoke (REGLA_REPLAY_VERIFY=1)"
+REGLA_REPLAY_VERIFY=1 timeout 600 ./bench_runtime --smoke
+
 cd ../..
 python3 scripts/check_bench_regression.py \
   --fresh "$dir/bench/bench_results/smoke/runtime.csv" \

@@ -28,6 +28,6 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 # `timeout` backstops the raw gtest run: ctest's per-test TIMEOUT does not
 # apply here, and a sanitizer-found deadlock must fail, not hang the gate.
 timeout 1800 ./build-tsan/tests/regla_tests \
-  --gtest_filter='ThreadPool*:PlanCache*:RuntimeQueue*:RuntimeSolve*:RuntimeFault*:EngineFault*:TimerWheel*:Fiber*:Obs*:OpsRegistry*:OpsZoo*:Fleet*'
+  --gtest_filter='ThreadPool*:PlanCache*:RuntimeQueue*:RuntimeSolve*:RuntimeFault*:EngineFault*:TimerWheel*:Fiber*:Obs*:OpsRegistry*:OpsZoo*:Fleet*:ReplayVerify*'
 
 echo "tier2 tsan: clean"

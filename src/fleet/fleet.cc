@@ -235,7 +235,8 @@ int Fleet::add_device(DeviceSpec spec) {
   built.reserve(streams);
   for (int i = 0; i < streams; ++i)
     built.push_back(std::make_unique<Stream>(spec.config, planner_,
-                                             host_threads_per_stream_));
+                                             host_threads_per_stream_,
+                                             opt_.replay));
   int id;
   {
     std::lock_guard<std::mutex> lock(mu_);

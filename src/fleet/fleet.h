@@ -59,9 +59,13 @@ using Clock = std::chrono::steady_clock;
 class Stream {
  public:
   Stream(const simt::DeviceConfig& cfg, std::shared_ptr<planner::Planner> p,
-         int host_threads)
+         int host_threads, bool replay = true)
       : dev_(cfg), solver_(dev_, std::move(p)), host_threads_(host_threads) {
     if (host_threads_ > 0) dev_.set_host_workers(host_threads_);
+    // Serving streams run data-independent ops over coalesced batches — the
+    // replay cache's home turf. Direct Device users (paper-figure benches)
+    // stay on full simulation; REGLA_REPLAY=0 force-disables it here too.
+    dev_.set_replay(replay);
   }
 
   simt::Device& device() { return dev_; }
@@ -188,6 +192,11 @@ struct FleetOptions {
   /// The shared planner (and plan cache) every stream solves through;
   /// created fresh when null.
   std::shared_ptr<planner::Planner> planner;
+  /// Replay memoization on every stream device (simt/replay.h): simulate
+  /// representative blocks per launch shape, replay the cycle accounting
+  /// for the rest. Timing-exact for the data-independent ops the runtime
+  /// serves; set false to force full simulation of every block.
+  bool replay = true;
 };
 
 /// The fleet: N devices, a router, live membership. Thread-safe throughout.

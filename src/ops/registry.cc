@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "planner/op_traits.h"
+#include "planner/planner.h"
 
 namespace regla::ops {
 
@@ -152,6 +153,42 @@ void validate(planner::Op op, const Call& call) {
   }
 }
 
+namespace {
+
+/// Replay-cache discriminator for everything the launch geometry does not
+/// already key: problem dims, dtype, the plan knobs the launcher folds into
+/// the kernel, the device-config fingerprint, and the payload base-address
+/// alignment classes (the DRAM coalescing pattern of block b is the class of
+/// base + b*stride mod segment, so two batches whose bases land in different
+/// classes must not share cached accounting).
+std::uint64_t replay_salt(const regla::simt::Device& dev,
+                          const planner::Plan& plan, const Call& call) {
+  std::uint64_t h = planner::Planner::config_fingerprint(dev.config());
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(call.m()));
+  mix(static_cast<std::uint64_t>(call.n()));
+  mix(static_cast<std::uint64_t>(call.count()));
+  mix(static_cast<std::uint64_t>(call.dtype()));
+  mix(static_cast<std::uint64_t>(plan.approach));
+  mix(static_cast<std::uint64_t>(plan.layout));
+  mix(static_cast<std::uint64_t>(plan.threads));
+  const std::uint64_t seg =
+      std::max<std::uint64_t>(1, dev.config().dram_segment_bytes);
+  const auto mix_base = [&](const void* p) {
+    mix(p != nullptr ? reinterpret_cast<std::uintptr_t>(p) % seg + 1 : 0);
+  };
+  mix_base(call.a != nullptr ? call.a->data() : nullptr);
+  mix_base(call.b != nullptr ? call.b->data() : nullptr);
+  mix_base(call.taus != nullptr ? call.taus->data() : nullptr);
+  mix_base(call.ca != nullptr ? call.ca->data() : nullptr);
+  mix_base(call.ctaus != nullptr ? call.ctaus->data() : nullptr);
+  return h;
+}
+
+}  // namespace
+
 SolveReport run_device(regla::simt::Device& dev, planner::Op op,
                        const planner::Plan& plan, const Call& call) {
   const Key k{op, call.dtype(), Backend::device};
@@ -159,6 +196,15 @@ SolveReport run_device(regla::simt::Device& dev, planner::Op op,
   if (e == nullptr)
     throw UnregisteredOpError("no device kernel registered for " +
                               key_name(k));
+  // Declare data-independence for the replay cache (a no-op on devices that
+  // have not opted into replay). Tiled approaches are excluded: their step
+  // launches reuse one kernel name across panels whose work differs, so the
+  // geometry+salt key cannot tell the steps apart.
+  const planner::OpTraits& traits = planner::op_traits(op);
+  const bool data_independent =
+      traits.data_independent && plan.approach != core::Approach::tiled;
+  regla::simt::Device::ReplayScope scope(
+      dev, data_independent, data_independent ? replay_salt(dev, plan, call) : 0);
   return e->device(dev, plan, call);
 }
 

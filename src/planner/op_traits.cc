@@ -24,6 +24,7 @@ OpTraits make_qr() {
   t.supports_c64 = true;
   t.has_per_thread = true;
   t.has_tiled = true;
+  t.data_independent = true;  // unpivoted Householder: fixed op/address schedule
   t.flops = qr_op_flops;
   return t;
 }
@@ -35,6 +36,8 @@ OpTraits make_lu() {
   t.has_per_thread = true;
   t.block_alg = model::BlockAlg::lu;
   t.fill = FillKind::diag_dominant;
+  t.data_independent = true;  // unpivoted elimination (the pivoting kernel is
+                              // core-API only and never dispatched here)
   t.flops = lu_op_flops;
   return t;
 }
@@ -46,6 +49,7 @@ OpTraits make_solve_qr() {
   t.square_only = true;
   t.extra_cols = 1;
   t.fill = FillKind::diag_dominant;
+  t.data_independent = true;
   t.flops = solve_qr_op_flops;
   return t;
 }
@@ -59,6 +63,7 @@ OpTraits make_solve_gj() {
   t.has_per_thread = true;
   t.block_alg = model::BlockAlg::lu;
   t.fill = FillKind::diag_dominant;
+  t.data_independent = true;
   t.flops = solve_gj_op_flops;
   return t;
 }
@@ -70,6 +75,7 @@ OpTraits make_least_squares() {
   t.tall_only = true;
   t.extra_cols = 1;
   t.has_tiled = true;
+  t.data_independent = true;
   t.flops = ls_op_flops;
   return t;
 }
@@ -80,6 +86,7 @@ OpTraits make_cholesky() {
   t.square_only = true;
   t.block_alg = model::BlockAlg::lu;  // elimination-shaped work, no reflectors
   t.fill = FillKind::spd;
+  t.data_independent = true;
   t.flops = cholesky_op_flops;
   return t;
 }
@@ -92,6 +99,7 @@ OpTraits make_trsm() {
   t.extra_cols = 1;
   t.block_alg = model::BlockAlg::lu;
   t.fill = FillKind::diag_dominant;  // diag-dominant lower factor: no breakdown
+  t.data_independent = true;
   t.flops = trsm_op_flops;
   return t;
 }

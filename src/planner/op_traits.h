@@ -37,6 +37,16 @@ struct OpTraits {
   bool has_per_thread = false;
   bool has_per_block = true;
   bool has_tiled = false;
+  /// The op's kernels have data-independent *accounting*: control flow and
+  /// memory indexing are functions of (shape, geometry) only, never of the
+  /// matrix values, so every block of a batch folds the same PhaseRecords.
+  /// This licenses the engine's replay memoization (simt/replay.h,
+  /// Device::ReplayScope) — the engine simulates representative blocks and
+  /// replays their cycle accounting for the rest. Leave false for any op
+  /// whose kernels take value-dependent branches around counted work
+  /// (pivot-magnitude searches that change op counts, convergence loops);
+  /// REGLA_REPLAY_VERIFY=1 re-simulates everything and asserts the claim.
+  bool data_independent = false;
   /// Which Table VI per-block model scores this op's block mapping (scaled
   /// by the flops ratio).
   model::BlockAlg block_alg = model::BlockAlg::qr;

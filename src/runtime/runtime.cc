@@ -90,6 +90,7 @@ Runtime::Runtime(Options opt)
   fopt.circuit_break_after = opt_.circuit_break_after;
   fopt.circuit_cooldown = opt_.circuit_cooldown;
   fopt.planner = planner_;
+  fopt.replay = opt_.replay;
   fleet_ = std::make_unique<fleet::Fleet>(std::move(fopt));
 
   // streams + spares + 1 so the pool has one helper thread per stream (the

@@ -158,6 +158,12 @@ struct RuntimeOptions {
   /// Timer wheel slot width for deadline tracking.
   std::chrono::microseconds timer_granularity{100};
   std::size_t timer_slots = 256;
+  /// Replay memoization on the stream devices (fleet::FleetOptions::replay,
+  /// simt/replay.h): per launch shape, simulate representative blocks and
+  /// replay their cycle accounting for the rest. Timing-exact for the
+  /// data-independent ops the runtime serves (REGLA_REPLAY_VERIFY=1
+  /// re-simulates and asserts it); false = full simulation per block.
+  bool replay = true;
   /// Device configuration for the legacy single-device shape (and the
   /// default config for `devices` entries that do not set one).
   simt::DeviceConfig device = simt::DeviceConfig::quadro6000();

@@ -36,7 +36,15 @@ class TimerWheel {
 
   /// Arm timer `id` to fire once `deadline` has passed. Ids are
   /// caller-assigned and must be unique among live timers.
+  ///
+  /// Re-arm contract: an id may be reused after it fired or was cancelled —
+  /// never while still live (that would leave two live entries and fire
+  /// twice). Re-arming a cancelled id is safe even before its stale entry
+  /// has been lazily walked: the cancellation is consumed here and the stale
+  /// entry removed eagerly, so advance()'s dead-on-sight check can no longer
+  /// swallow the *new* entry (the re-arm poisoning bug).
   void arm(std::uint64_t id, Clock::time_point deadline) {
+    if (cancelled_.erase(id) > 0) remove_stale(id);
     std::uint64_t t = tick_of(deadline);
     if (t < cursor_) t = cursor_;  // already-due deadlines fire next advance
     slots_[t % slots_.size()].push_back(Entry{id, deadline, t});
@@ -105,6 +113,21 @@ class TimerWheel {
   }
 
  private:
+  // Drop the lazily-cancelled entry for `id` from whichever slot holds it.
+  // O(slots + entries), paid only on the cancel -> re-arm-same-id path
+  // (armed_ was already decremented by the cancel, so no accounting here).
+  void remove_stale(std::uint64_t id) {
+    for (auto& slot : slots_)
+      for (std::size_t i = 0; i < slot.size();) {
+        if (slot[i].id == id) {
+          slot[i] = slot.back();
+          slot.pop_back();
+        } else {
+          ++i;
+        }
+      }
+  }
+
   // With no live timers, every remaining slot entry is a lazily-cancelled
   // leftover. Dropping them all bounds the wheel's memory by its live
   // timers instead of by its cancellation history.

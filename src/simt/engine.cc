@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
@@ -11,13 +13,26 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simt/fiber.h"
+#include "simt/replay.h"
 #include "simt/timing.h"
 #include "simt/trace.h"
 
 namespace regla::simt {
 
+namespace {
+bool env_disabled(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '0' && v[1] == '\0';
+}
+bool env_enabled(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && !(v[0] == '0' && v[1] == '\0') && v[0] != '\0';
+}
+}  // namespace
+
 // Out of line: ThreadPool is only forward-declared in the header.
-Device::Device(DeviceConfig cfg) : cfg_(cfg) {}
+Device::Device(DeviceConfig cfg)
+    : cfg_(cfg), replay_verify_(env_enabled("REGLA_REPLAY_VERIFY")) {}
 Device::~Device() = default;
 Device::Device(Device&&) noexcept = default;
 Device& Device::operator=(Device&&) noexcept = default;
@@ -27,15 +42,53 @@ void Device::set_host_workers(int workers) {
   host_workers_ = workers;
 }
 
+void Device::set_replay(bool on) {
+  // REGLA_REPLAY=0 is the global kill switch: a run whose replayed numbers
+  // look suspect can force full simulation everywhere without a rebuild.
+  replay_on_ = on && !env_disabled("REGLA_REPLAY");
+  if (replay_on_ && !replay_cache_) replay_cache_ = std::make_unique<ReplayCache>();
+  if (!on) replay_cache_.reset();
+}
+
+Device::ReplayScope::ReplayScope(Device& dev, bool data_independent,
+                                 std::uint64_t salt)
+    : dev_(dev),
+      prev_di_(dev.scope_data_independent_),
+      prev_salt_(dev.scope_salt_) {
+  dev.scope_data_independent_ = data_independent;
+  dev.scope_salt_ = salt;
+}
+
+Device::ReplayScope::~ReplayScope() {
+  dev_.scope_data_independent_ = prev_di_;
+  dev_.scope_salt_ = prev_salt_;
+}
+
 namespace {
 
-/// Everything produced by functionally executing one block.
-struct BlockRun {
-  std::vector<PhaseRecord> phases;
-  std::size_t shared_bytes = 0;
-  std::uint64_t syncs = 0;
+/// Per-warp liveness masks: the stepping loops touch only warps with live
+/// lanes, and within a warp walk the set bits — a retired warp costs one
+/// load per phase, and the lanes of a live warp run as one contiguous loop
+/// between sync points (the SIMD stepping restructure; warp_size <= 32 fits
+/// the mask, wider configs get multiple mask words per warp row).
+struct WarpLiveness {
+  std::vector<std::uint32_t> live;
+  int lanes_per_word = 0;
+
+  WarpLiveness(int threads, int warp_size) {
+    lanes_per_word = std::min(warp_size, 32);
+    const int words = (threads + lanes_per_word - 1) / lanes_per_word;
+    live.resize(static_cast<std::size_t>(words));
+    for (int w = 0; w < words; ++w) {
+      const int lanes = std::min(lanes_per_word, threads - w * lanes_per_word);
+      live[static_cast<std::size_t>(w)] =
+          lanes == 32 ? ~0u : ((1u << lanes) - 1u);
+    }
+  }
 };
 
+/// Run one block instrumented: every lane's counters recorded and folded
+/// into a PhaseRecord at each sync boundary.
 BlockRun run_block(const DeviceConfig& cfg, const LaunchSpec& spec,
                    const KernelFn& body, int block_id) {
   BlockRun out;
@@ -54,24 +107,78 @@ BlockRun run_block(const DeviceConfig& cfg, const LaunchSpec& spec,
         [&body, &ctxs, t] { body(ctxs[t]); }, spec.fiber_stack_bytes));
 
   fast_math_enabled() = cfg.fast_math;
+  WarpLiveness wl(spec.threads, cfg.warp_size);
+  FoldScratch scratch;
   int alive = spec.threads;
   while (alive > 0) {
     // One pass: every live fiber runs to its next __syncthreads() or to
     // completion; that boundary is a phase.
-    for (int t = 0; t < spec.threads; ++t) {
-      if (fibers[t]->done()) continue;
-      current_stats() = &stats[t];
-      if (!fibers[t]->resume()) --alive;
+    for (std::size_t w = 0; w < wl.live.size(); ++w) {
+      std::uint32_t mask = wl.live[w];
+      if (mask == 0) continue;  // whole warp retired
+      const int base = static_cast<int>(w) * wl.lanes_per_word;
+      do {
+        const int lane = std::countr_zero(mask);
+        mask &= mask - 1;
+        const int t = base + lane;
+        current_stats() = &stats[t];
+        if (!fibers[t]->resume()) {
+          wl.live[w] &= ~(1u << lane);
+          --alive;
+        }
+      } while (mask != 0);
     }
     current_stats() = nullptr;
     const bool ended_with_sync = alive > 0;
     out.phases.push_back(fold_phase(cfg, stats, state.current_tag,
-                                    state.current_panel, ended_with_sync));
+                                    state.current_panel, ended_with_sync,
+                                    &scratch));
     if (ended_with_sync) ++out.syncs;
     for (ThreadStats& s : stats) s.reset();
   }
   out.shared_bytes = state.shared.total_bytes();
   return out;
+}
+
+/// Run one block functionally only — no counters, no folds, no PhaseRecords.
+/// current_stats() stays null so the instrumented device types skip their
+/// recording branches entirely; the kernel's numerics are bit-identical to
+/// the instrumented path. This is what replayed blocks execute.
+void run_block_fast(const DeviceConfig& cfg, const LaunchSpec& spec,
+                    const KernelFn& body, int block_id) {
+  BlockState state;
+  std::vector<BlockCtx> ctxs;
+  ctxs.reserve(spec.threads);
+  for (int t = 0; t < spec.threads; ++t)
+    ctxs.emplace_back(cfg, state, block_id, spec.blocks, t, spec.threads,
+                      &Fiber::yield);
+
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  fibers.reserve(spec.threads);
+  for (int t = 0; t < spec.threads; ++t)
+    fibers.push_back(std::make_unique<Fiber>(
+        [&body, &ctxs, t] { body(ctxs[t]); }, spec.fiber_stack_bytes));
+
+  fast_math_enabled() = cfg.fast_math;
+  current_stats() = nullptr;
+  WarpLiveness wl(spec.threads, cfg.warp_size);
+  int alive = spec.threads;
+  while (alive > 0) {
+    for (std::size_t w = 0; w < wl.live.size(); ++w) {
+      std::uint32_t mask = wl.live[w];
+      if (mask == 0) continue;
+      const int base = static_cast<int>(w) * wl.lanes_per_word;
+      do {
+        const int lane = std::countr_zero(mask);
+        mask &= mask - 1;
+        const int t = base + lane;
+        if (!fibers[t]->resume()) {
+          wl.live[w] &= ~(1u << lane);
+          --alive;
+        }
+      } while (mask != 0);
+    }
+  }
 }
 
 /// Project the launch's per-phase cycle breakdown into the wall-clock window
@@ -146,38 +253,191 @@ LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
     }
   }
 
+  // --- Replay decision -----------------------------------------------------
+  // Only launches inside a data-independent ReplayScope on a replay-enabled
+  // device participate; everything else takes the full-instrumentation path
+  // below, bit-identical to the pre-replay engine.
+  const ReplayEntry* hit = nullptr;
+  ReplayKey key;
+  const bool replay_active = replay_on_ && scope_data_independent_;
+  if (replay_active) {
+    key = ReplayKey{spec.name, spec.blocks, spec.threads, spec.regs_per_thread,
+                    scope_salt_};
+    hit = replay_cache_->find(key);
+    obs::counter(hit != nullptr ? "engine.replay.hits" : "engine.replay.misses")
+        .add();
+  }
+  const bool verify = hit != nullptr && replay_verify_;
+
+  // Which blocks run instrumented this launch:
+  //  - no replay (or verify mode): all of them,
+  //  - cache hit: none (all replayed through the fast path),
+  //  - cache miss: representatives {0, 1, last} first; the rest fast if the
+  //    representatives folded identically, instrumented otherwise.
+  // A poisoned launch on a cache miss falls back to full instrumentation
+  // and is not cached: the skipped block leaves a hole the uniformity check
+  // could not vouch for.
   std::vector<BlockRun> runs(spec.blocks);
+  std::vector<unsigned char> instr(static_cast<std::size_t>(spec.blocks), 0);
+  const bool miss_memoizing =
+      replay_active && hit == nullptr && poison_block < 0;
+
+  std::vector<int> reps;
+  if (miss_memoizing) {
+    reps.push_back(0);
+    if (spec.blocks > 1) reps.push_back(1);
+    if (spec.blocks > 2) reps.push_back(spec.blocks - 1);
+  }
 
   const int configured = host_workers_ > 0
                              ? host_workers_
                              : static_cast<int>(std::thread::hardware_concurrency());
-  const int workers = std::clamp(configured, 1, spec.blocks);
 
-  if (workers == 1) {
-    for (int b = 0; b < spec.blocks; ++b) {
-      if (b == poison_block) continue;  // poisoned: silently skipped
-      runs[b] = run_block(cfg_, spec, body, b);
-    }
-  } else {
-    // Persistent pool, sized to the configured (unclamped) width so launches
-    // of different block counts share one set of threads instead of
-    // respawning per launch. parallel_for over `workers` slots, each slot
-    // draining the shared block counter, preserves the old dynamic
-    // scheduling exactly (blocks have skewed runtimes).
-    if (!pool_) pool_ = std::make_unique<cpu::ThreadPool>(std::max(1, configured));
-    std::atomic<int> next{0};
-    pool_->parallel_for(workers, [&](int) {
-      for (int b = next.fetch_add(1); b < spec.blocks; b = next.fetch_add(1)) {
-        if (b == poison_block) continue;  // poisoned: silently skipped
+  // Run `todo` (block ids), instrumented or fast, serially or on the pool.
+  const auto execute = [&](const std::vector<int>& todo, bool instrumented) {
+    const int workers =
+        std::clamp(configured, 1, static_cast<int>(todo.size()));
+    const auto one = [&](int b) {
+      if (b == poison_block) return;  // poisoned: silently skipped
+      if (instrumented) {
         runs[b] = run_block(cfg_, spec, body, b);
+        instr[static_cast<std::size_t>(b)] = 1;
+      } else {
+        run_block_fast(cfg_, spec, body, b);
       }
-    });
+    };
+    if (workers == 1) {
+      for (int b : todo) one(b);
+    } else {
+      // Persistent pool, sized to the configured (unclamped) width so
+      // launches of different block counts share one set of threads instead
+      // of respawning per launch. parallel_for over `workers` slots, each
+      // slot draining the shared counter, preserves dynamic scheduling
+      // (blocks have skewed runtimes).
+      if (!pool_)
+        pool_ = std::make_unique<cpu::ThreadPool>(std::max(1, configured));
+      std::atomic<std::size_t> next{0};
+      pool_->parallel_for(workers, [&](int) {
+        for (std::size_t i = next.fetch_add(1); i < todo.size();
+             i = next.fetch_add(1))
+          one(todo[i]);
+      });
+    }
+  };
+
+  std::vector<int> all(static_cast<std::size_t>(spec.blocks));
+  for (int b = 0; b < spec.blocks; ++b) all[static_cast<std::size_t>(b)] = b;
+
+  bool cache_uniform = false;
+  if (hit != nullptr && !verify) {
+    execute(all, /*instrumented=*/false);  // replay: accounting from cache
+  } else if (!miss_memoizing) {
+    execute(all, /*instrumented=*/true);   // full simulation (or verify)
+  } else {
+    execute(reps, /*instrumented=*/true);
+    cache_uniform = true;
+    for (int r : reps)
+      if (!(runs[r] == runs[reps[0]])) cache_uniform = false;
+    if (cache_uniform) {
+      std::vector<int> rest;
+      rest.reserve(all.size());
+      for (int b : all)
+        if (instr[static_cast<std::size_t>(b)] == 0) rest.push_back(b);
+      // Verify mode puts the uniformity extrapolation itself on trial:
+      // instrument the blocks it would skip and demand they fold exactly
+      // like the representatives. Agreement leaves accounting, caching,
+      // and results identical to the fast path.
+      execute(rest, /*instrumented=*/replay_verify_);
+      if (replay_verify_) {
+        std::uint64_t mismatches = 0;
+        for (int b : rest) {
+          obs::counter("engine.replay.verify_blocks").add();
+          if (!(runs[b] == runs[reps[0]])) ++mismatches;
+        }
+        if (mismatches > 0) {
+          obs::counter("engine.replay.verify_mismatches").add(mismatches);
+          REGLA_CHECK_MSG(false,
+                          "replay verify: kernel '"
+                              << spec.name << "' blocks=" << spec.blocks
+                              << " threads=" << spec.threads << ": "
+                              << mismatches
+                              << " block(s) diverged from the representative "
+                                 "accounting (REGLA_REPLAY_VERIFY)");
+        }
+      }
+    } else {
+      obs::counter("engine.replay.nonuniform").add();
+      std::vector<int> rest;
+      rest.reserve(all.size());
+      for (int b : all)
+        if (instr[static_cast<std::size_t>(b)] == 0) rest.push_back(b);
+      execute(rest, /*instrumented=*/true);
+    }
+  }
+
+  // The accounting for block b: its own instrumented run where one exists,
+  // the cached (or representative) run where it was replayed, and the empty
+  // run for a poisoned block — exactly what full simulation leaves there.
+  static const BlockRun kEmptyRun;
+  const auto view = [&](int b) -> const BlockRun& {
+    if (b == poison_block) return kEmptyRun;
+    if (instr[static_cast<std::size_t>(b)] != 0) return runs[b];
+    if (hit != nullptr) return hit->run_for(b);
+    return runs[reps[0]];  // uniform miss: every block folded like block 0
+  };
+
+  std::uint64_t replayed = 0, simulated = 0;
+  for (int b = 0; b < spec.blocks; ++b) {
+    if (b == poison_block) continue;
+    (instr[static_cast<std::size_t>(b)] != 0 ? simulated : replayed) += 1;
+  }
+  if (replay_active) {
+    if (replayed > 0) obs::counter("engine.replay.blocks_replayed").add(replayed);
+    if (simulated > 0)
+      obs::counter("engine.replay.blocks_simulated").add(simulated);
+  }
+
+  // Verify mode: every block was fully simulated above; assert the cached
+  // accounting the hit would have replayed matches it, phase by phase.
+  if (verify) {
+    std::uint64_t mismatches = 0;
+    for (int b = 0; b < spec.blocks; ++b) {
+      if (b == poison_block) continue;
+      obs::counter("engine.replay.verify_blocks").add();
+      if (!(runs[b] == hit->run_for(b))) ++mismatches;
+    }
+    if (mismatches > 0) {
+      obs::counter("engine.replay.verify_mismatches").add(mismatches);
+      REGLA_CHECK_MSG(false, "replay verify: kernel '"
+                                 << spec.name << "' blocks=" << spec.blocks
+                                 << " threads=" << spec.threads << ": "
+                                 << mismatches
+                                 << " block(s) diverged from the cached "
+                                    "accounting (REGLA_REPLAY_VERIFY)");
+    }
+  }
+
+  // Memoize what this launch learned (miss path only; a verify launch's key
+  // is already cached).
+  if (miss_memoizing) {
+    ReplayEntry entry;
+    entry.uniform = cache_uniform;
+    std::size_t max_shared = 0;
+    for (int b = 0; b < spec.blocks; ++b)
+      max_shared = std::max(max_shared, view(b).shared_bytes);
+    entry.shared_bytes = max_shared;
+    if (cache_uniform)
+      entry.rep = runs[reps[0]];
+    else
+      entry.per_block = runs;
+    replay_cache_->put(key, std::move(entry));
   }
 
   // Occupancy from the declared register demand and the *measured* shared
   // usage (the engine knows exactly what the kernel allocated).
   std::size_t shared_bytes = 0;
-  for (const BlockRun& r : runs) shared_bytes = std::max(shared_bytes, r.shared_bytes);
+  for (int b = 0; b < spec.blocks; ++b)
+    shared_bytes = std::max(shared_bytes, view(b).shared_bytes);
   const Occupancy occ = occupancy(cfg_, spec.threads, spec.regs_per_thread,
                                   shared_bytes);
   // Contention inside an SM comes from blocks actually resident, which a
@@ -196,7 +456,8 @@ LaunchResult Device::launch(const LaunchSpec& spec, const KernelFn& body) {
   block_times.reserve(spec.blocks);
   std::map<std::pair<int, int>, double> tagged;  // (panel, tag) -> cycles
   std::uint64_t dram_bytes = 0;
-  for (const BlockRun& r : runs) {
+  for (int b = 0; b < spec.blocks; ++b) {
+    const BlockRun& r = view(b);
     double t = 0;
     for (const PhaseRecord& p : r.phases) {
       const double c = phase_cycles(cfg_, p, k_resident, spec.threads);

@@ -20,6 +20,8 @@ class ThreadPool;
 
 namespace regla::simt {
 
+class ReplayCache;
+
 using KernelFn = std::function<void(BlockCtx&)>;
 
 struct LaunchSpec {
@@ -100,9 +102,42 @@ class Device {
   /// it at the new width.
   void set_host_workers(int workers);
 
+  /// Replay memoization (simt/replay.h, DESIGN.md §13). Off by default so
+  /// direct Device users (the paper-figure benches) always fully simulate;
+  /// the serving runtime opts its stream devices in. Honors the
+  /// REGLA_REPLAY=0 kill switch; turning replay off drops the cache.
+  /// REGLA_REPLAY_VERIFY=1 (read at Device construction) makes every cache
+  /// hit re-simulate all blocks and assert the cached accounting matches.
+  void set_replay(bool on);
+  bool replay_enabled() const { return replay_on_; }
+
+  /// RAII declaration that the launches inside it have data-independent
+  /// accounting (planner::OpTraits::data_independent): same kernel +
+  /// geometry + salt implies the same folded phases for every block. `salt`
+  /// must cover everything geometry alone does not — problem dims, dtype,
+  /// plan knobs, DeviceConfig fingerprint, payload base-address alignment
+  /// classes. Scopes nest; the previous scope is restored on destruction.
+  class ReplayScope {
+   public:
+    ReplayScope(Device& dev, bool data_independent, std::uint64_t salt);
+    ~ReplayScope();
+    ReplayScope(const ReplayScope&) = delete;
+    ReplayScope& operator=(const ReplayScope&) = delete;
+
+   private:
+    Device& dev_;
+    bool prev_di_;
+    std::uint64_t prev_salt_;
+  };
+
  private:
   DeviceConfig cfg_;
   int host_workers_ = 0;  // 0 = auto
+  bool replay_on_ = false;
+  bool replay_verify_ = false;          ///< REGLA_REPLAY_VERIFY at construction
+  bool scope_data_independent_ = false; ///< set by ReplayScope
+  std::uint64_t scope_salt_ = 0;
+  std::unique_ptr<ReplayCache> replay_cache_;
   std::uint64_t launch_ordinal_ = 0;  ///< fault-stream position (one launch at a time)
   FaultStats fault_stats_;
   /// Persistent host workers for multi-block launches, built lazily on the

@@ -5,11 +5,17 @@
 
 #include <cstdint>
 #include <cstring>
+#include <vector>
 
 #include "common/error.h"
 
 #ifdef REGLA_ASAN_FIBERS
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
+#endif
+
+#ifdef REGLA_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
 #endif
 
 #ifndef REGLA_UCONTEXT_FIBERS
@@ -31,6 +37,53 @@ std::size_t page_size() {
   static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
   return ps;
 }
+
+#ifndef REGLA_TSAN_FIBERS
+// (Disabled under TSan: each Fiber is a distinct TSan logical thread, so a
+// recycled stack would hand one logical thread's addresses to another with
+// no synchronization TSan can see — false races. A fresh mmap per fiber
+// goes through TSan's interceptor, which resets the range's shadow.)
+// Per-host-thread pool of retired fiber stacks (mapping + guard page kept
+// intact). A block launch creates and destroys one fiber per device thread;
+// without the pool every block pays an mmap/mprotect/munmap round trip per
+// lane plus first-touch page faults on the fresh mapping — together more
+// host time than the kernel body for mid-size blocks. Thread-local, so no
+// locking: a block's fibers are created and destroyed by the same executor
+// thread, and each pool dies (unmapping its stacks) with its thread.
+struct StackPool {
+  struct Slot {
+    void* base = nullptr;
+    std::size_t map_bytes = 0;
+  };
+  // One launch's worth of lanes is the steady-state demand; 256 bounds the
+  // pool at 32MB of 128KB stacks per host thread.
+  static constexpr std::size_t kMaxFree = 256;
+  std::vector<Slot> free_;
+
+  ~StackPool() {
+    for (const Slot& s : free_) munmap(s.base, s.map_bytes);
+  }
+
+  void* take(std::size_t map_bytes) {
+    for (std::size_t i = free_.size(); i-- > 0;) {
+      if (free_[i].map_bytes == map_bytes) {
+        void* base = free_[i].base;
+        free_[i] = free_.back();
+        free_.pop_back();
+        return base;
+      }
+    }
+    return nullptr;
+  }
+
+  bool give(void* base, std::size_t map_bytes) {
+    if (free_.size() >= kMaxFree) return false;
+    free_.push_back(Slot{base, map_bytes});
+    return true;
+  }
+};
+thread_local StackPool t_stack_pool;
+#endif  // !REGLA_TSAN_FIBERS
 }  // namespace
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
@@ -38,10 +91,25 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
   const std::size_t ps = page_size();
   const std::size_t stack = (stack_bytes + ps - 1) / ps * ps;
   map_bytes_ = stack + ps;  // one guard page below the stack
-  stack_base_ = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
-  REGLA_CHECK_MSG(stack_base_ != MAP_FAILED, "fiber stack mmap failed");
-  REGLA_CHECK(mprotect(stack_base_, ps, PROT_NONE) == 0);
+#ifndef REGLA_TSAN_FIBERS
+  stack_base_ = t_stack_pool.take(map_bytes_);
+#endif
+  if (stack_base_ == nullptr) {
+    stack_base_ = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    REGLA_CHECK_MSG(stack_base_ != MAP_FAILED, "fiber stack mmap failed");
+    REGLA_CHECK(mprotect(stack_base_, ps, PROT_NONE) == 0);
+  }
+#ifdef REGLA_TSAN_FIBERS
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+#ifdef REGLA_ASAN_FIBERS
+  // A recycled stack keeps the previous fiber's shadow poison (its deepest
+  // frames never returned, so their redzones were never unpoisoned); clear
+  // it so the next body's frames start from clean shadow.
+  __asan_unpoison_memory_region(
+      reinterpret_cast<std::uint8_t*>(stack_base_) + ps, map_bytes_ - ps);
+#endif
 
   auto* top = reinterpret_cast<std::uint8_t*>(stack_base_) + map_bytes_;
   // 16-byte align the stack top.
@@ -77,7 +145,13 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
 
 Fiber::~Fiber() {
   REGLA_CHECK_MSG(!running_, "destroying a running fiber");
+#ifdef REGLA_TSAN_FIBERS
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
   if (stack_base_ != nullptr) munmap(stack_base_, map_bytes_);
+#else
+  if (stack_base_ != nullptr && !t_stack_pool.give(stack_base_, map_bytes_))
+    munmap(stack_base_, map_bytes_);
+#endif
 }
 
 #ifdef REGLA_UCONTEXT_FIBERS
@@ -105,6 +179,9 @@ void Fiber::entry(Fiber* self) {
   __sanitizer_start_switch_fiber(nullptr, self->asan_return_bottom_,
                                  self->asan_return_size_);
 #endif
+#ifdef REGLA_TSAN_FIBERS
+  __tsan_switch_to_fiber(self->tsan_return_fiber_, 0);
+#endif
 #ifdef REGLA_UCONTEXT_FIBERS
   swapcontext(&self->ctx_, &self->return_ctx_);
 #else
@@ -123,6 +200,11 @@ bool Fiber::resume() {
       &asan_resumer_fake_stack_,
       static_cast<const std::uint8_t*>(stack_base_) + page_size(),
       map_bytes_ - page_size());
+#endif
+#ifdef REGLA_TSAN_FIBERS
+  // Re-captured on every resume: blocks can migrate between pool threads.
+  tsan_return_fiber_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
 #endif
 #ifdef REGLA_UCONTEXT_FIBERS
   swapcontext(&return_ctx_, &ctx_);
@@ -149,6 +231,9 @@ void Fiber::yield() {
   __sanitizer_start_switch_fiber(&self->asan_fiber_fake_stack_,
                                  self->asan_return_bottom_,
                                  self->asan_return_size_);
+#endif
+#ifdef REGLA_TSAN_FIBERS
+  __tsan_switch_to_fiber(self->tsan_return_fiber_, 0);
 #endif
 #ifdef REGLA_UCONTEXT_FIBERS
   swapcontext(&self->ctx_, &self->return_ctx_);

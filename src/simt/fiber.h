@@ -29,6 +29,20 @@
 #endif
 #endif
 
+// Under ThreadSanitizer every switch must likewise go through the
+// __tsan_*_fiber API: TSan keeps a per-thread shadow call stack, and a
+// context switch it doesn't know about leaves each fiber's never-returned
+// frames on the host thread's shadow stack — across thousands of fibers the
+// accreted trace overflows TSan's stack depot (sanitizer_stackdepot CHECK
+// at 2^16 frames) and aborts. Each Fiber carries its own TSan fiber state.
+#if defined(__SANITIZE_THREAD__)
+#define REGLA_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define REGLA_TSAN_FIBERS 1
+#endif
+#endif
+
 namespace regla::simt {
 
 /// A single cooperative fiber. Not thread-safe: a fiber is owned and resumed
@@ -38,6 +52,9 @@ class Fiber {
   /// `body` runs on the fiber's stack; when it returns the fiber is done.
   /// `stack_bytes` is rounded up to the page size; a guard page is placed
   /// below the stack so overflow faults instead of corrupting the heap.
+  /// Stacks are recycled through a per-host-thread pool (mapping and guard
+  /// page kept warm), so construction is an allocation-free pop in the
+  /// steady state instead of an mmap + first-touch faults per lane.
   explicit Fiber(std::function<void()> body, std::size_t stack_bytes = 128 * 1024);
   ~Fiber();
 
@@ -87,6 +104,11 @@ class Fiber {
   void* asan_resumer_fake_stack_ = nullptr;
   const void* asan_return_bottom_ = nullptr;
   std::size_t asan_return_size_ = 0;
+#endif
+
+#ifdef REGLA_TSAN_FIBERS
+  void* tsan_fiber_ = nullptr;         // this fiber's TSan thread state
+  void* tsan_return_fiber_ = nullptr;  // resumer's state while fiber runs
 #endif
 };
 

@@ -17,8 +17,14 @@
 
 namespace regla::simt {
 
+namespace detail {
+/// Storage behind fast_math_enabled(); header-inline for the same reason as
+/// stats.h's t_current_stats — the divide/sqrt hot paths read it per op.
+inline thread_local bool t_fast_math = true;
+}  // namespace detail
+
 /// Set by the executor for the duration of a launch (fast-math on/off).
-bool& fast_math_enabled();
+inline bool& fast_math_enabled() { return detail::t_fast_math; }
 
 namespace detail {
 /// Truncate a float to 22 mantissa bits (keep 22 of 23 explicit fraction

@@ -1,0 +1,33 @@
+#include "simt/replay.h"
+
+namespace regla::simt {
+
+const ReplayEntry* ReplayCache::find(const ReplayKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->entry;
+}
+
+void ReplayCache::put(const ReplayKey& key, ReplayEntry entry) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    records_ -= it->second->entry.phase_records();
+    records_ += entry.phase_records();
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    records_ += entry.phase_records();
+    lru_.push_front(Node{key, std::move(entry)});
+    map_.emplace(lru_.front().key, lru_.begin());
+  }
+  // Evict from the cold end; keep at least the entry just touched.
+  while (records_ > budget_ && map_.size() > 1) {
+    const Node& victim = lru_.back();
+    records_ -= victim.entry.phase_records();
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace regla::simt

@@ -25,14 +25,9 @@ std::map<std::string, double> stats_snapshot() {
 
 void stats_clear() { obs::reset_all(); }
 
-ThreadStats*& current_stats() {
-  thread_local ThreadStats* stats = nullptr;
-  return stats;
-}
-
-bool& fast_math_enabled() {
-  thread_local bool enabled = true;
-  return enabled;
-}
+// current_stats() and fast_math_enabled() moved to header-inline TLS
+// accessors (stats.h / gfloat.h): the instrumented device types read them on
+// every arithmetic op and memory access, and the out-of-line call was the
+// dominant cost of running a kernel body uninstrumented.
 
 }  // namespace regla::simt

@@ -135,8 +135,19 @@ struct ThreadStats {
   }
 };
 
+namespace detail {
+/// Storage behind current_stats(). Header-inline so the accessor compiles to
+/// a TLS load in the device types' hot paths: gfloat records a counter bump
+/// per arithmetic op, and an out-of-line call per op dominated uninstrumented
+/// kernel time. Not part of the API — go through current_stats().
+inline thread_local ThreadStats* t_current_stats = nullptr;
+}  // namespace detail
+
 /// The executor's per-host-thread pointer at the running fiber's counters.
-ThreadStats*& current_stats();
+/// Null while no instrumented block is executing: every instrumented device
+/// type (gfloat, SharedArray, Global, RegTile) null-checks it, so the same
+/// kernels also run uninstrumented — the engine's replay fast path.
+inline ThreadStats*& current_stats() { return detail::t_current_stats; }
 
 /// Aggregated per-phase result for one block (after the warp-level fold).
 struct PhaseRecord {
@@ -164,6 +175,23 @@ struct PhaseRecord {
   /// Any thread's address log hit ThreadStats::kAddrCap this phase — the
   /// transaction estimates above are extrapolated from a sampled prefix.
   bool addrs_truncated = false;
+
+  /// Exact (bitwise for the doubles) equality — the replay cache's
+  /// uniformity and verify checks compare folded phases field by field; any
+  /// divergence at all disqualifies a block from being replayed.
+  friend bool operator==(const PhaseRecord& a, const PhaseRecord& b) {
+    return a.tag == b.tag && a.panel == b.panel &&
+           a.ended_with_sync == b.ended_with_sync && a.fp_issue == b.fp_issue &&
+           a.sfu_cycles == b.sfu_cycles && a.sfu_latency == b.sfu_latency &&
+           a.sh_transactions == b.sh_transactions &&
+           a.gl_transactions == b.gl_transactions &&
+           a.spill_accesses == b.spill_accesses &&
+           a.dep_latency == b.dep_latency && a.flops == b.flops &&
+           a.divs == b.divs && a.sqrts == b.sqrts && a.gl_bytes == b.gl_bytes &&
+           a.spill_bytes == b.spill_bytes && a.any_shared == b.any_shared &&
+           a.any_global == b.any_global && a.any_spill == b.any_spill &&
+           a.addrs_truncated == b.addrs_truncated;
+  }
 };
 
 /// Whole-launch totals (all blocks).

@@ -15,11 +15,12 @@ namespace {
 /// hottest bank).
 double warp_shared_transactions(const DeviceConfig& cfg,
                                 const std::vector<ThreadStats>& threads,
-                                int lane_begin, int lane_end) {
+                                int lane_begin, int lane_end,
+                                std::vector<std::uint32_t>& addrs) {
   std::uint64_t max_lane = 0;
   std::uint64_t total = 0;
   std::uint64_t recorded = 0;
-  std::vector<std::uint32_t> addrs;
+  addrs.clear();
   for (int t = lane_begin; t < lane_end; ++t) {
     const ThreadStats& s = threads[t];
     max_lane = std::max(max_lane, s.sh_accesses);
@@ -46,9 +47,10 @@ double warp_shared_transactions(const DeviceConfig& cfg,
 /// rule: one transaction per 128-byte segment per access instruction; over a
 /// phase, distinct segments is the faithful aggregate for streaming code).
 double warp_global_transactions(const std::vector<ThreadStats>& threads,
-                                int lane_begin, int lane_end) {
+                                int lane_begin, int lane_end,
+                                std::vector<std::uint64_t>& segs) {
   std::uint64_t total = 0, recorded = 0;
-  std::vector<std::uint64_t> segs;
+  segs.clear();
   for (int t = lane_begin; t < lane_end; ++t) {
     const ThreadStats& s = threads[t];
     total += s.gl_loads + s.gl_stores;
@@ -68,7 +70,9 @@ double warp_global_transactions(const std::vector<ThreadStats>& threads,
 
 PhaseRecord fold_phase(const DeviceConfig& cfg,
                        const std::vector<ThreadStats>& threads, OpTag tag,
-                       int panel, bool ended_with_sync) {
+                       int panel, bool ended_with_sync, FoldScratch* scratch) {
+  FoldScratch local;
+  FoldScratch& sc = scratch != nullptr ? *scratch : local;
   PhaseRecord p;
   p.tag = tag;
   p.panel = panel;
@@ -100,8 +104,9 @@ PhaseRecord fold_phase(const DeviceConfig& cfg,
     if (sqrts > 0) p.sfu_latency = std::max(p.sfu_latency, cfg.sqrt_cycles());
     p.spill_accesses += static_cast<double>(spills);
     p.dep_latency = std::max(p.dep_latency, dep);
-    p.sh_transactions += warp_shared_transactions(cfg, threads, w0, w1);
-    p.gl_transactions += warp_global_transactions(threads, w0, w1);
+    p.sh_transactions += warp_shared_transactions(cfg, threads, w0, w1,
+                                                  sc.sh_addrs);
+    p.gl_transactions += warp_global_transactions(threads, w0, w1, sc.gl_segs);
   }
 
   for (const ThreadStats& s : threads) {

@@ -14,12 +14,23 @@
 
 namespace regla::simt {
 
+/// Reusable buffers for fold_phase's per-warp address analysis. Purely an
+/// allocation-churn saver: a block executor folds hundreds of phases and the
+/// address vectors reach tens of KB, so reusing one scratch across phases
+/// keeps the fold out of the allocator. Contents never carry between calls.
+struct FoldScratch {
+  std::vector<std::uint32_t> sh_addrs;
+  std::vector<std::uint64_t> gl_segs;
+};
+
 /// Fold one phase's per-thread counters into a PhaseRecord (warp-level SIMT
 /// fold: issue counts are max-over-lanes; shared transactions account for
 /// bank conflicts; global transactions are distinct 128-byte segments).
+/// `scratch` may be null; passing one reuses its buffers (identical result).
 PhaseRecord fold_phase(const DeviceConfig& cfg,
                        const std::vector<ThreadStats>& threads, OpTag tag,
-                       int panel, bool ended_with_sync);
+                       int panel, bool ended_with_sync,
+                       FoldScratch* scratch = nullptr);
 
 /// Cycle cost of one phase for a block, with `k_blocks` blocks of the same
 /// kernel resident per SM (they contend for every issue port and for the

@@ -1,0 +1,220 @@
+// Replay memoization (simt/replay.h, DESIGN.md §13): a replay-enabled
+// device must report bit-identical accounting to a fully-simulated one —
+// numerics, timing, counters — for every data-independent op, with and
+// without injected faults, and REGLA_REPLAY_VERIFY must observe zero
+// mismatches when it re-simulates what the cache replays.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/generators.h"
+#include "obs/metrics.h"
+#include "planner/solver.h"
+#include "simt/engine.h"
+#include "simt/replay.h"
+
+namespace regla {
+namespace {
+
+// Every SolveReport field the device model produces, compared exactly: a
+// replayed launch that drifts by one cycle or one byte is a bug.
+void expect_reports_identical(const SolveReport& a, const SolveReport& b) {
+  EXPECT_EQ(a.plan.approach, b.plan.approach);
+  EXPECT_EQ(a.plan.threads, b.plan.threads);
+  EXPECT_EQ(a.seconds, b.seconds);  // bitwise: no tolerance
+  EXPECT_EQ(a.chip_cycles, b.chip_cycles);
+  EXPECT_EQ(a.nominal_flops, b.nominal_flops);
+  EXPECT_EQ(a.blocks_per_sm, b.blocks_per_sm);
+  EXPECT_EQ(a.waves, b.waves);
+  EXPECT_EQ(a.counters.flops, b.counters.flops);
+  EXPECT_EQ(a.counters.divs, b.counters.divs);
+  EXPECT_EQ(a.counters.sqrts, b.counters.sqrts);
+  EXPECT_EQ(a.counters.sh_accesses, b.counters.sh_accesses);
+  EXPECT_EQ(a.counters.gl_bytes, b.counters.gl_bytes);
+  EXPECT_EQ(a.counters.spill_bytes, b.counters.spill_bytes);
+  EXPECT_EQ(a.counters.syncs, b.counters.syncs);
+  EXPECT_EQ(a.counters.addr_truncations, b.counters.addr_truncations);
+  EXPECT_EQ(a.not_solved, b.not_solved);
+}
+
+void expect_batches_identical(const BatchF& a, const BatchF& b) {
+  ASSERT_EQ(a.count(), b.count());
+  for (int k = 0; k < a.count(); ++k)
+    for (int j = 0; j < a.cols(); ++j)
+      for (int i = 0; i < a.rows(); ++i)
+        ASSERT_EQ(a.at(k, i, j), b.at(k, i, j))
+            << "k=" << k << " i=" << i << " j=" << j;
+}
+
+// Run the paper's op set through two Solvers — one on a replay-enabled
+// device, one fully simulated — twice each (the second replay-device pass
+// hits the cache) and demand bitwise agreement everywhere. Counts include
+// a ragged tail for the per-thread family (37 % threads != 0) and
+// multi-block per-block launches.
+void run_op_sweep(simt::Device& replay_dev, simt::Device& full_dev) {
+  Solver sr(replay_dev);
+  Solver sf(full_dev);
+
+  struct Case {
+    planner::Op op;
+    int n;
+    int count;
+  };
+  const Case cases[] = {
+      {planner::Op::qr, 8, 37},    // per-thread, ragged last block
+      {planner::Op::qr, 32, 9},    // per-block, ragged vs SM count
+      {planner::Op::lu, 32, 8},
+      {planner::Op::cholesky, 24, 8},
+      {planner::Op::trsm, 48, 6},
+  };
+  for (const Case& c : cases) {
+    for (int pass = 0; pass < 2; ++pass) {
+      const std::uint64_t seed = 100 * c.n + c.count + pass;
+      BatchF ar(c.count, c.n, c.n), af(c.count, c.n, c.n);
+      BatchF br(c.count, c.n, 1), bf(c.count, c.n, 1);
+      if (c.op == planner::Op::cholesky || c.op == planner::Op::trsm) {
+        fill_spd(ar, seed);
+        fill_spd(af, seed);
+      } else {
+        fill_uniform(ar, seed);
+        fill_uniform(af, seed);
+      }
+      fill_uniform(br, seed + 1);
+      fill_uniform(bf, seed + 1);
+
+      SolveReport rr, rf;
+      switch (c.op) {
+        case planner::Op::qr:
+          rr = sr.qr(ar);
+          rf = sf.qr(af);
+          break;
+        case planner::Op::lu:
+          rr = sr.lu(ar);
+          rf = sf.lu(af);
+          break;
+        case planner::Op::cholesky:
+          rr = sr.cholesky(ar);
+          rf = sf.cholesky(af);
+          break;
+        case planner::Op::trsm:
+          rr = sr.cholesky(ar);
+          rf = sf.cholesky(af);
+          rr = sr.trsm(ar, br);
+          rf = sf.trsm(af, bf);
+          break;
+        default:
+          FAIL();
+      }
+      expect_reports_identical(rr, rf);
+      expect_batches_identical(ar, af);
+      if (c.op == planner::Op::trsm) expect_batches_identical(br, bf);
+    }
+  }
+}
+
+TEST(ReplayVerify, ReplayedAccountingBitwiseEqualsFullSim) {
+  const std::uint64_t hits0 = obs::counter_value("engine.replay.hits");
+  simt::Device replay_dev;
+  replay_dev.set_replay(true);
+  simt::Device full_dev;
+  ASSERT_FALSE(full_dev.replay_enabled());
+  if (!replay_dev.replay_enabled()) GTEST_SKIP() << "REGLA_REPLAY=0 set";
+
+  run_op_sweep(replay_dev, full_dev);
+
+  // The second pass of every case repeats (kernel, geometry, salt): the
+  // cache must actually be replaying, not silently missing.
+  EXPECT_GT(obs::counter_value("engine.replay.hits"), hits0);
+}
+
+// REGLA_REPLAY_VERIFY=1 (read at Device construction) re-simulates every
+// block a cache hit would replay and cross-checks the accounting. Zero
+// mismatches across the op sweep is the tentpole's soundness gate.
+TEST(ReplayVerify, VerifyModeObservesZeroMismatches) {
+  ::setenv("REGLA_REPLAY_VERIFY", "1", 1);
+  const std::uint64_t blocks0 = obs::counter_value("engine.replay.verify_blocks");
+  const std::uint64_t mism0 =
+      obs::counter_value("engine.replay.verify_mismatches");
+  {
+    simt::Device replay_dev;
+    replay_dev.set_replay(true);
+    simt::Device full_dev;
+    if (!replay_dev.replay_enabled()) {
+      ::unsetenv("REGLA_REPLAY_VERIFY");
+      GTEST_SKIP() << "REGLA_REPLAY=0 set";
+    }
+    run_op_sweep(replay_dev, full_dev);
+  }
+  ::unsetenv("REGLA_REPLAY_VERIFY");
+  EXPECT_GT(obs::counter_value("engine.replay.verify_blocks"), blocks0);
+  EXPECT_EQ(obs::counter_value("engine.replay.verify_mismatches"), mism0);
+}
+
+// Fault decisions key on the launch ordinal, never on whether blocks were
+// simulated or replayed: a faulty device must produce the same fault
+// sequence, the same accounting, and the same results either way.
+TEST(ReplayVerify, FaultDecisionsIdenticalUnderReplay) {
+  ::setenv("REGLA_REPLAY_VERIFY", "1", 1);
+  const std::uint64_t mism0 =
+      obs::counter_value("engine.replay.verify_mismatches");
+  simt::DeviceConfig cfg;
+  cfg.faults.seed = 42;
+  cfg.faults.poisoned_result_rate = 0.5;   // every other launch skips a block
+  cfg.faults.latency_spike_rate = 0.25;
+  cfg.faults.latency_spike_multiplier = 4.0;
+  {
+    simt::Device replay_dev(cfg);
+    replay_dev.set_replay(true);
+    simt::Device full_dev(cfg);
+    if (!replay_dev.replay_enabled()) {
+      ::unsetenv("REGLA_REPLAY_VERIFY");
+      GTEST_SKIP() << "REGLA_REPLAY=0 set";
+    }
+    run_op_sweep(replay_dev, full_dev);
+    EXPECT_EQ(replay_dev.fault_stats().poisoned_launches,
+              full_dev.fault_stats().poisoned_launches);
+    EXPECT_EQ(replay_dev.fault_stats().latency_spikes,
+              full_dev.fault_stats().latency_spikes);
+  }
+  ::unsetenv("REGLA_REPLAY_VERIFY");
+  EXPECT_EQ(obs::counter_value("engine.replay.verify_mismatches"), mism0);
+}
+
+// The REGLA_REPLAY=0 kill switch wins over any opt-in.
+TEST(ReplayVerify, KillSwitchDisablesOptIn) {
+  ::setenv("REGLA_REPLAY", "0", 1);
+  simt::Device dev;
+  dev.set_replay(true);
+  EXPECT_FALSE(dev.replay_enabled());
+  ::unsetenv("REGLA_REPLAY");
+  dev.set_replay(true);
+  EXPECT_TRUE(dev.replay_enabled());
+  dev.set_replay(false);
+  EXPECT_FALSE(dev.replay_enabled());
+}
+
+// The cache itself: bounded by total cached phase records, LRU eviction,
+// exact-key lookup.
+TEST(ReplayVerify, CacheEvictsLeastRecentlyUsed) {
+  simt::ReplayCache cache(/*max_phase_records=*/8);
+  auto entry_with = [](int phases) {
+    simt::ReplayEntry e;
+    e.uniform = true;
+    e.rep.phases.resize(phases);
+    return e;
+  };
+  simt::ReplayKey a{"k", 1, 32, 16, 1};
+  simt::ReplayKey b{"k", 1, 32, 16, 2};
+  simt::ReplayKey c{"k", 1, 32, 16, 3};
+  cache.put(a, entry_with(4));
+  cache.put(b, entry_with(4));
+  ASSERT_NE(cache.find(a), nullptr);  // touch a: b becomes coldest
+  cache.put(c, entry_with(4));        // over budget: evict b
+  EXPECT_NE(cache.find(a), nullptr);
+  EXPECT_EQ(cache.find(b), nullptr);
+  EXPECT_NE(cache.find(c), nullptr);
+}
+
+}  // namespace
+}  // namespace regla

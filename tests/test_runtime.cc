@@ -431,6 +431,53 @@ TEST(TimerWheel, PurgeAfterLastCancelKeepsWheelConsistent) {
   EXPECT_TRUE(wheel.empty());
 }
 
+// Regression: cancel then re-arm of the same id while OTHER timers stay
+// live, so the empty-wheel purge never runs. arm() used to leave the id in
+// the cancelled set; advance()'s dead-on-sight check then consumed the
+// cancellation against the NEW entry and the re-armed timer never fired
+// (and the stale entry could fire on a later lap instead). arm() now
+// consumes the cancellation and drops the stale entry eagerly.
+TEST(TimerWheel, ReArmAfterCancelFiresExactlyOnce) {
+  using runtime::TimerWheel;
+  const auto t0 = TimerWheel::Clock::time_point{};
+  TimerWheel wheel(t0, 100us, 16);
+  wheel.arm(9, t0 + 10s);  // keeps the wheel non-empty: no purge below
+  wheel.arm(1, t0 + 300us);
+  wheel.cancel(1);
+  wheel.arm(1, t0 + 500us);  // re-arm the same id before any advance
+  EXPECT_EQ(wheel.armed(), 2u);
+  EXPECT_EQ(wheel.next_deadline(), t0 + 500us);
+  // The cancelled incarnation's deadline must not fire...
+  EXPECT_TRUE(wheel.advance(t0 + 400us).empty());
+  // ...and the re-armed one fires exactly once, on its own deadline.
+  auto fired = wheel.advance(t0 + 1ms);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  EXPECT_TRUE(wheel.advance(t0 + 5ms).empty());
+  fired = wheel.advance(t0 + 10s);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 9u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+// Same regression, with the stale and fresh entries hashing to the same
+// slot (identical deadline): the eager removal must strip exactly the stale
+// entry, not the one just armed.
+TEST(TimerWheel, ReArmSameDeadlineSameSlot) {
+  using runtime::TimerWheel;
+  const auto t0 = TimerWheel::Clock::time_point{};
+  TimerWheel wheel(t0, 100us, 16);
+  wheel.arm(9, t0 + 10s);
+  wheel.arm(1, t0 + 300us);
+  wheel.cancel(1);
+  wheel.arm(1, t0 + 300us);
+  EXPECT_EQ(wheel.armed(), 2u);
+  auto fired = wheel.advance(t0 + 1ms);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  EXPECT_EQ(wheel.armed(), 1u);
+}
+
 TEST(TimerWheel, SameGranuleDeadlineWaitsForItsMoment) {
   using runtime::TimerWheel;
   const auto t0 = TimerWheel::Clock::time_point{};
