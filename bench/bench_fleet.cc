@@ -227,7 +227,11 @@ int main(int argc, char** argv) {
   // launch-bound; see bench_runtime's n=8 sweep) without drowning the
   // single-core host in backlog at 4 devices.
   const double rate = 8000;
-  const int requests = regla::bench::pick(1600, 120);
+  // The scale act runs at its full request count even under --smoke (~0.2 s
+  // of offered traffic per cell): its batch depth is what sets agg device
+  // pr/s, so the smoke rows must match the committed baseline's depth for
+  // the strict regression gate in scripts/bench_smoke.sh to be meaningful.
+  const int requests = 1600;
 
   Table t({"act", "devices", "rate req/s", "offered", "wall pr/s",
            "agg device pr/s", "scaling x", "balance", "mean batch"});

@@ -254,6 +254,172 @@ int resilience_sweep(int requests) {
   return reconciled ? 0 : 1;
 }
 
+// The ragged act: the same total problem rate offered as a mix of per-block
+// shapes (32/30/28/26 — all bucketing to the 32x32 tile under ragged
+// coalescing) instead of one signature. Signature-pure coalescing splits
+// that traffic across four queues, each filling a quarter as fast, so
+// batches flush small on deadline; ragged coalescing funnels everything into
+// one padded-tile queue. Per-block kernels run one problem per block with
+// blocks in parallel across SMs, so a batch's device time is nearly flat in
+// batch depth until the wave fills — fewer, deeper launches are a direct
+// device-throughput win that dwarfs the padding overhead (per-thread shapes
+// are the opposite: device time there is per-problem-dominated, so padding
+// 5x5 work to an 8x8 tile costs more than the launches it saves). The full
+// run gates on ragged beating pure on BOTH mean coalesced batch size and
+// device problems/s at every swept rate.
+struct RaggedResult {
+  double offered_rps = 0;
+  double device_pps = 0;
+  double mean_batch = 0;
+  double p99_ms = 0;
+  std::uint64_t ragged_batches = 0;
+};
+
+RaggedResult run_ragged(bool ragged, double rate_rps, int requests) {
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.max_batch_delay = std::chrono::microseconds{10000};
+  opt.max_queue_problems = 1 << 15;
+  opt.ragged = ragged;
+  apply_fleet_flags(opt);
+  Runtime rt(opt);
+  KillTimer killer(rt);
+
+  static constexpr int kDims[] = {32, 30, 28, 26};
+  std::mt19937_64 rng(7000 + (ragged ? 1 : 0));
+  std::exponential_distribution<double> interarrival(rate_rps);
+  std::vector<std::future<Report>> futs;
+  futs.reserve(requests);
+
+  const auto t0 = Clock::now();
+  auto next = t0;
+  for (int i = 0; i < requests; ++i) {
+    std::this_thread::sleep_until(next);
+    const int n = kDims[i % 4];
+    BatchF a(kProblemsPerRequest, n, n);
+    regla::fill_uniform(a, static_cast<std::uint64_t>(i));
+    futs.push_back(rt.submit(Op::qr, std::move(a)));
+    next += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(interarrival(rng)));
+  }
+  const double gen_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  for (auto& f : futs) f.get();
+  rt.shutdown();
+
+  const auto st = rt.stats();
+  const double problems = double(requests) * kProblemsPerRequest;
+  RaggedResult r;
+  r.offered_rps = requests / gen_seconds;
+  r.device_pps = st.device_seconds > 0 ? problems / st.device_seconds : 0;
+  r.mean_batch = st.mean_batch();
+  r.p99_ms = st.p99_ms();
+  r.ragged_batches = st.ragged_batches;
+  return r;
+}
+
+int ragged_sweep(bool smoke) {
+  const double rates[] = {120, 480};
+  Table t({"mode", "rate req/s", "offered", "device pr/s", "mean batch",
+           "ragged batches", "p99 ms"});
+  t.precision(1);
+  int losses = 0;
+  for (const double rate : rates) {
+    const int requests =
+        smoke ? 96 : std::max(96, std::min(4000, int(rate * 0.4)));
+    const RaggedResult pure = run_ragged(/*ragged=*/false, rate, requests);
+    const RaggedResult rag = run_ragged(/*ragged=*/true, rate, requests);
+    t.add_row({std::string("pure"), rate, pure.offered_rps, pure.device_pps,
+               pure.mean_batch, static_cast<long long>(pure.ragged_batches),
+               pure.p99_ms});
+    t.add_row({std::string("ragged"), rate, rag.offered_rps, rag.device_pps,
+               rag.mean_batch, static_cast<long long>(rag.ragged_batches),
+               rag.p99_ms});
+    if (rag.mean_batch <= pure.mean_batch || rag.device_pps <= pure.device_pps)
+      ++losses;
+  }
+  regla::bench::emit(t, "ragged",
+                     "Mixed-shape (32/30/28/26) traffic: signature-pure "
+                     "coalescing vs ragged bucketing to the 32x32 tile");
+  if (!smoke)
+    std::printf("ragged: rates where bucketing lost on batch size or "
+                "device throughput: %d\n",
+                losses);
+  return (smoke || losses == 0) ? 0 : 1;
+}
+
+// The alloc-budget act: closed-loop steady-state traffic through the staged
+// assembly path, measuring arena slab mallocs per request after warm-up.
+// The zero-copy tentpole's contract is that the steady-state hot path never
+// allocates: every staging block is a free-list hit. CI's alloc-budget step
+// re-checks the emitted CSV against the committed budget
+// (bench_results/alloc_budget.txt) via scripts/check_alloc_budget.py; the
+// binary also self-gates so a local run fails loudly.
+int alloc_audit(bool smoke) {
+  RuntimeOptions opt;
+  opt.workers = 2;
+  opt.max_batch_delay = 10s;  // closed loop: flush manually
+  apply_fleet_flags(opt);
+  Runtime rt(opt);
+
+  constexpr int kRequestsPerCycle = 4;
+  std::uint64_t seed = 0;
+  const auto cycle = [&] {
+    std::vector<std::future<Report>> futs;
+    for (int i = 0; i < kRequestsPerCycle; ++i) {
+      BatchF a(kProblemsPerRequest, 8, 8);
+      regla::fill_uniform(a, seed++);
+      futs.push_back(rt.submit(Op::qr, std::move(a)));
+    }
+    rt.flush();
+    for (auto& f : futs) f.get();
+  };
+
+  const int warm_cycles = 8;
+  const int steady_cycles = smoke ? 100 : 1000;
+  for (int i = 0; i < warm_cycles; ++i) cycle();
+  const auto warm = rt.stats();
+  for (int i = 0; i < steady_cycles; ++i) cycle();
+  rt.shutdown();
+  const auto st = rt.stats();
+
+  const double steady_requests = double(steady_cycles) * kRequestsPerCycle;
+  const double allocs_per_request =
+      double(st.payload_allocs - warm.payload_allocs) / steady_requests;
+
+  Table t({"phase", "requests", "slab allocs", "allocs per request",
+           "reuses", "bytes copied"});
+  t.precision(4);
+  t.add_row({std::string("warmup"),
+             static_cast<long long>(warm_cycles * kRequestsPerCycle),
+             static_cast<long long>(warm.payload_allocs),
+             double(warm.payload_allocs) / (warm_cycles * kRequestsPerCycle),
+             static_cast<long long>(warm.payload_reuses),
+             static_cast<long long>(warm.payload_bytes_copied)});
+  t.add_row({std::string("steady"),
+             static_cast<long long>(steady_requests),
+             static_cast<long long>(st.payload_allocs - warm.payload_allocs),
+             allocs_per_request,
+             static_cast<long long>(st.payload_reuses - warm.payload_reuses),
+             static_cast<long long>(st.payload_bytes_copied -
+                                    warm.payload_bytes_copied)});
+  regla::bench::emit(t, "alloc_audit",
+                     "Arena slab allocations per request, closed-loop "
+                     "steady state (budget: bench_results/alloc_budget.txt)");
+  std::printf(
+      "alloc-audit: steady state %.4f slab allocs/request over %d requests "
+      "(obs runtime.payload_allocs=%llu runtime.payload_reuses=%llu "
+      "runtime.payload_bytes_copied=%llu)\n",
+      allocs_per_request, int(steady_requests),
+      static_cast<unsigned long long>(
+          regla::obs::counter_value("runtime.payload_allocs")),
+      static_cast<unsigned long long>(
+          regla::obs::counter_value("runtime.payload_reuses")),
+      static_cast<unsigned long long>(
+          regla::obs::counter_value("runtime.payload_bytes_copied")));
+  return allocs_per_request <= 0.05 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -309,22 +475,27 @@ int main(int argc, char** argv) {
            "mean batch", "p50 ms", "p99 ms"});
   t.precision(1);
 
-  // Smoke: first rate of each shape only, ~0.1 s of traffic per cell. The
-  // rows keep the full run's (n, rate, mode) keys so
-  // scripts/check_bench_regression.py can compare them against the
-  // committed bench_results/runtime.csv baseline.
+  // Smoke: the first rate of each shape (~0.1 s of traffic) plus the
+  // saturation tier at its FULL request count — the saturation cells are
+  // size-triggered (batch depth set by the flush target, not by arrival
+  // timing), so their device pr/s is stable enough for the strict
+  // regression gate in scripts/bench_smoke.sh. The rows keep the full
+  // run's (n, rate, mode) keys so scripts/check_bench_regression.py can
+  // compare them against the committed bench_results/runtime.csv baseline.
   int high_rate_losses = 0;
   for (const Sweep& sweep : sweeps) {
-    for (int ri = 0; ri < (smoke ? 1 : 4); ++ri) {
+    for (int ri = 0; ri < 4; ++ri) {
+      if (smoke && ri != 0 && ri != 3) continue;
       const double rate = sweep.rates[ri];
       const bool saturation = ri == 3;
       // Bound each cell to ~0.4 s of offered traffic (and keep the
       // oversubscribed cells' backlogs drainable in seconds). The
       // saturation tier offers ~50 ms: enough windows for stable batch
       // statistics without minutes of uncoalesced drain.
-      const int requests = smoke
-          ? std::max(24, std::min(400, int(rate * 0.1)))
-          : std::max(24, std::min(4000, int(rate * (saturation ? 0.05 : 0.4))));
+      const int requests = saturation
+          ? std::max(24, std::min(4000, int(rate * 0.05)))
+          : smoke ? std::max(24, std::min(400, int(rate * 0.1)))
+                  : std::max(24, std::min(4000, int(rate * 0.4)));
       const RunResult base =
           run(sweep.n, rate, /*coalesce=*/false, requests, saturation);
       const RunResult coal =
@@ -348,6 +519,8 @@ int main(int argc, char** argv) {
                 "throughput: %d\n",
                 high_rate_losses);
 
+  const int ragged_rc = ragged_sweep(smoke);
+  const int alloc_rc = alloc_audit(smoke);
   const int resilience_rc = resilience_sweep(smoke ? 250 : 1000);
   if (!trace_path.empty()) {
     regla::obs::trace_stop();
@@ -358,8 +531,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(regla::obs::trace_dropped()));
   }
   if (print_stats) regla::obs::dump(std::cout);
-  // The coalescing perf gate only means something at full fidelity; the
-  // resilience accounting gate holds in both modes.
+  // The coalescing and ragged perf gates only mean something at full
+  // fidelity; the resilience accounting and alloc-budget gates hold in both
+  // modes (a steady-state hot path that allocates is broken at any scale).
   if (resilience_rc != 0) return resilience_rc;
+  if (alloc_rc != 0) return alloc_rc;
+  if (ragged_rc != 0) return ragged_rc;
   return (smoke || high_rate_losses == 0) ? 0 : 1;
 }

@@ -9,6 +9,12 @@
 // expires), and every client still just calls submit() and waits on its own
 // future.
 //
+// Clients here write their problems into arena leases (rt.lease_f32) instead
+// of their own heap buffers: leased payloads are recycled slab blocks, so
+// the steady-state serving path allocates nothing per request, and adjacent
+// leases can even ride to the device as a zero-copy concatenated view (see
+// DESIGN.md §14 and the payload line in the printed stats).
+//
 // Act two re-runs the same fleet against a hostile device: 10% of launches
 // fail with TransientLaunchFailure (deterministic, seeded). With bounded
 // retry + CPU fallback enabled, every request still resolves — successfully
@@ -69,7 +75,10 @@ FleetResult run_fleet(runtime::Runtime& rt) {
       std::uniform_int_distribution<int> pause_us(20, 200);
       for (int i = 0; i < kRequestsPerClient; ++i) {
         const int n = (c % 2 == 0) ? 8 : 32;
-        BatchF a(kPerRequest, n, n);
+        // Lease the request buffer from the runtime's payload arena and
+        // fill it in place — steady state this is a free-list hit, not an
+        // allocation, and results ride the same block back in the Report.
+        BatchF a = rt.lease_f32(kPerRequest, n, n);
         fill_uniform(a, static_cast<std::uint64_t>(c * 1000 + i));
         auto fut = rt.submit(planner::Op::qr, std::move(a));
         // A real client would go do other work here; these just pace
@@ -115,6 +124,13 @@ void print_stats(const runtime::RuntimeStats& st, const FleetResult& r) {
                   st.flushed(runtime::FlushReason::shutdown)));
   std::printf("latency:          p50 %.2f ms, p99 %.2f ms\n", st.p50_ms(),
               st.p99_ms());
+  std::printf("payloads:         %llu slab allocs, %llu lease reuses; "
+              "%llu view / %llu staged batches, %llu bytes copied\n",
+              static_cast<unsigned long long>(st.payload_allocs),
+              static_cast<unsigned long long>(st.payload_reuses),
+              static_cast<unsigned long long>(st.view_batches),
+              static_cast<unsigned long long>(st.staged_batches),
+              static_cast<unsigned long long>(st.payload_bytes_copied));
   std::printf("simulated device: %.2f ms busy\n", st.device_seconds * 1e3);
 }
 

@@ -6,8 +6,13 @@
 # fails if any future hangs or the accounting does not reconcile).
 #
 # Smoke CSVs land in <build>/bench_results/smoke/; afterwards
-# scripts/check_bench_regression.py compares the smoke runtime rows against
-# the committed bench_results/runtime.csv baseline (warn-only by default).
+# scripts/check_bench_regression.py compares the smoke runtime/fleet/ragged
+# rows against the committed baselines. The saturation tiers (runtime rates
+# 96000/16000/8000 and the fleet scale act) run at full request counts in
+# smoke and gate strictly — their batch depth is size-triggered, so device
+# pr/s is stable across runners; the deadline-triggered low-rate tiers stay
+# warn-only. scripts/check_alloc_budget.py then enforces the committed
+# steady-state allocation budget over the alloc-audit act's CSV.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,18 +60,38 @@ echo "== bench_runtime --smoke (REGLA_REPLAY_VERIFY=1)"
 REGLA_REPLAY_VERIFY=1 timeout 600 ./bench_runtime --smoke
 
 cd ../..
+# Runtime rows: low-rate tiers warn-only, saturation tiers strict (their
+# smoke cells run at full request counts with size-triggered flushes, so
+# device pr/s is deterministic enough to gate on).
 python3 scripts/check_bench_regression.py \
   --fresh "$dir/bench/bench_results/smoke/runtime.csv" \
   --baseline bench_results/runtime.csv \
+  --strict-rows "rate req/s=96000,16000,8000" \
   "$@"
 # Fleet scaling rows: aggregate device pr/s keyed on (act, devices, rate) —
 # catches router-balance regressions, since the aggregate is bounded by the
-# busiest device.
+# busiest device. The scale act runs at full fidelity in smoke, so it gates
+# strictly.
 python3 scripts/check_bench_regression.py \
   --fresh "$dir/bench/bench_results/smoke/fleet.csv" \
   --baseline bench_results/fleet.csv \
   --key-cols "act,devices,rate req/s" \
   --value-col "agg device pr/s" \
+  --strict-rows "act=scale" \
   "$@"
+# Ragged bucketing rows: warn-only (the smoke cells are deadline-flushed, so
+# batch depth tracks arrival timing); the in-binary gate that ragged beats
+# pure on batch size and device pr/s runs at full fidelity only.
+python3 scripts/check_bench_regression.py \
+  --fresh "$dir/bench/bench_results/smoke/ragged.csv" \
+  --baseline bench_results/ragged.csv \
+  --key-cols "mode,rate req/s" \
+  "$@"
+# The allocation-budget gate: steady-state arena slab allocs per request
+# from the alloc-audit act, against the committed budget. Strict — the
+# counter is deterministic, there is no runner noise to absorb.
+python3 scripts/check_alloc_budget.py \
+  --csv "$dir/bench/bench_results/smoke/alloc_audit.csv" \
+  --budget bench_results/alloc_budget.txt
 
 echo "bench smoke: all binaries ran clean"

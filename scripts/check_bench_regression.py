@@ -14,7 +14,11 @@ pr/s").
 
 Warn-only by default: CI prints the deltas and always exits 0 so a noisy
 runner can't block merges. Pass --strict to turn >tolerance deltas into a
-non-zero exit (for local use when hunting a regression).
+non-zero exit, or --strict-rows 'COL=V1,V2,...' to fail only on rows whose
+key column matches one of the listed values — CI uses that for the
+saturation tiers, whose batch depth is size-triggered (set by the flush
+target, not arrival timing) and therefore stable across runners, while the
+deadline-triggered low-rate tiers stay warn-only.
 """
 
 import argparse
@@ -54,23 +58,53 @@ def main():
                     help="relative tolerance on the value column (default 0.15)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 when any shared row regresses past tolerance")
+    ap.add_argument("--strict-rows", default="",
+                    help="'COL=V1,V2,...': exit 1 only when a row whose COL "
+                         "key matches one of the values regresses (other "
+                         "rows stay warn-only)")
     args = ap.parse_args()
 
     key_cols = tuple(c.strip() for c in args.key_cols.split(",") if c.strip())
     if not key_cols:
         sys.exit("--key-cols: need at least one column")
 
+    strict_col_idx, strict_values = None, frozenset()
+    if args.strict_rows:
+        col, sep, values = args.strict_rows.partition("=")
+        col = col.strip()
+        if not sep or col not in key_cols:
+            sys.exit(f"--strict-rows: want 'COL=V1,V2,...' with COL one of "
+                     f"{key_cols}")
+        strict_col_idx = key_cols.index(col)
+        strict_values = frozenset(
+            v.strip() for v in values.split(",") if v.strip())
+
+    def norm(v):
+        try:
+            return repr(float(v))
+        except ValueError:
+            return v
+
+    strict_values = frozenset(norm(v) for v in strict_values)
+
+    def is_strict(key):
+        if args.strict:
+            return True
+        return (strict_col_idx is not None
+                and norm(key[strict_col_idx]) in strict_values)
+
     fresh = load(args.fresh, key_cols, args.value_col)
     base = load(args.baseline, key_cols, args.value_col)
     shared = sorted(fresh.keys() & base.keys())
     if not shared:
         # Key mismatch means the sweep or schema changed — that is worth a
-        # loud note, but only --strict makes it fatal.
+        # loud note, but only a strict invocation makes it fatal.
         print(f"bench-regression: no shared {key_cols} rows between "
               f"{args.fresh} and {args.baseline}")
-        return 1 if args.strict else 0
+        return 1 if (args.strict or strict_values) else 0
 
     regressions = []
+    fatal = []
     print(f"bench-regression: '{args.value_col}', "
           f"tolerance ±{args.tolerance:.0%}")
     key_width = max(len(" ".join(k)) for k in shared)
@@ -80,8 +114,10 @@ def main():
         delta = (f - b) / b if b else 0.0
         flag = ""
         if delta < -args.tolerance:
-            flag = "  REGRESSION"
+            flag = "  REGRESSION" + (" (strict)" if is_strict(key) else "")
             regressions.append((key, delta))
+            if is_strict(key):
+                fatal.append((key, delta))
         elif delta > args.tolerance:
             flag = "  (faster)"
         print(f"{' '.join(key):<{key_width}} {b:>14.1f} {f:>14.1f} "
@@ -94,9 +130,11 @@ def main():
 
     if regressions:
         print(f"bench-regression: {len(regressions)} row(s) slower than "
-              f"baseline by more than {args.tolerance:.0%}"
-              + ("" if args.strict else " (warn-only; pass --strict to fail)"))
-        return 1 if args.strict else 0
+              f"baseline by more than {args.tolerance:.0%}, "
+              f"{len(fatal)} on strict rows"
+              + ("" if fatal else
+                 " (warn-only; --strict / --strict-rows to fail)"))
+        return 1 if fatal else 0
     print("bench-regression: all shared rows within tolerance")
     return 0
 

@@ -23,11 +23,13 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 # paths (retry/backoff, deadline failure, shedding, CPU fallback — all of
 # which cross threads); Obs* cover the metric registry, the trace ring, and
 # the cross-layer timeline (ObsRuntimeTrace exercises the trace buffer from
-# the dispatcher and every worker thread at once).
+# the dispatcher and every worker thread at once); Arena*/RuntimeArena*/
+# RuntimeRagged* hammer the payload arena's lease/release free lists and the
+# staged/view assembly tiers from concurrent submitters.
 #
 # `timeout` backstops the raw gtest run: ctest's per-test TIMEOUT does not
 # apply here, and a sanitizer-found deadlock must fail, not hang the gate.
 timeout 1800 ./build-tsan/tests/regla_tests \
-  --gtest_filter='ThreadPool*:PlanCache*:RuntimeQueue*:RuntimeSolve*:RuntimeFault*:EngineFault*:TimerWheel*:Fiber*:Obs*:OpsRegistry*:OpsZoo*:Fleet*:ReplayVerify*'
+  --gtest_filter='ThreadPool*:PlanCache*:RuntimeQueue*:RuntimeSolve*:RuntimeFault*:EngineFault*:TimerWheel*:Fiber*:Obs*:OpsRegistry*:OpsZoo*:Fleet*:ReplayVerify*:Arena*:RuntimeArena*:RuntimeRagged*'
 
 echo "tier2 tsan: clean"

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <complex>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -94,6 +96,16 @@ class Matrix {
 /// A batch of same-shape matrices stored contiguously (problem-major): matrix
 /// k occupies the k-th rows*cols slab. This is the layout the paper's batched
 /// kernels consume: block b indexes its problem with a single base offset.
+///
+/// Two storage modes. Owned (the default): the batch carries its own vector,
+/// exactly as before. Borrowed (`borrow()`): the batch is a view over memory
+/// someone else owns — an arena block, or a span across several adjacent
+/// payloads — with an optional refcounted `owner` handle that keeps the
+/// backing storage alive for the view's lifetime. Everything downstream
+/// (kernels, solvers, the runtime) goes through data(), so a borrowed batch
+/// is indistinguishable from an owned one at the call site. Copying a
+/// borrowed batch deep-copies into an owned one (a copy is a snapshot, never
+/// a second alias); moving transfers the view and resets the source.
 template <typename T>
 class BatchedMatrix {
  public:
@@ -104,28 +116,85 @@ class BatchedMatrix {
     REGLA_CHECK(count >= 0 && rows >= 0 && cols >= 0);
   }
 
+  /// A batch over externally owned storage of count*rows*cols elements.
+  /// `owner` (optional) is released when the batch is destroyed or
+  /// reassigned — pass the arena lease handle so the block outlives the view.
+  static BatchedMatrix borrow(T* data, int count, int rows, int cols,
+                              std::shared_ptr<void> owner = nullptr) {
+    REGLA_CHECK(count >= 0 && rows >= 0 && cols >= 0);
+    REGLA_CHECK(data != nullptr || count == 0);
+    BatchedMatrix b;
+    b.count_ = count;
+    b.rows_ = rows;
+    b.cols_ = cols;
+    b.ext_ = data;
+    b.owner_ = std::move(owner);
+    return b;
+  }
+
+  BatchedMatrix(const BatchedMatrix& o)
+      : count_(o.count_), rows_(o.rows_), cols_(o.cols_) {
+    if (o.ext_ != nullptr)
+      data_.assign(o.ext_, o.ext_ + o.size());
+    else
+      data_ = o.data_;
+  }
+  BatchedMatrix& operator=(const BatchedMatrix& o) {
+    if (this == &o) return *this;
+    count_ = o.count_;
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    if (o.ext_ != nullptr)
+      data_.assign(o.ext_, o.ext_ + o.size());
+    else
+      data_ = o.data_;
+    ext_ = nullptr;
+    owner_.reset();
+    return *this;
+  }
+  BatchedMatrix(BatchedMatrix&& o) noexcept { swap(o); }
+  BatchedMatrix& operator=(BatchedMatrix&& o) noexcept {
+    if (this != &o) {
+      BatchedMatrix tmp;  // leave the source default-constructed, not aliased
+      tmp.swap(o);
+      swap(tmp);
+    }
+    return *this;
+  }
+  ~BatchedMatrix() = default;
+
+  void swap(BatchedMatrix& o) noexcept {
+    std::swap(count_, o.count_);
+    std::swap(rows_, o.rows_);
+    std::swap(cols_, o.cols_);
+    data_.swap(o.data_);
+    std::swap(ext_, o.ext_);
+    owner_.swap(o.owner_);
+  }
+
   int count() const { return count_; }
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   std::size_t stride() const { return static_cast<std::size_t>(rows_) * cols_; }
-  std::size_t size() const { return data_.size(); }
+  std::size_t size() const { return static_cast<std::size_t>(count_) * stride(); }
   std::size_t bytes() const { return size() * sizeof(T); }
+  bool borrowed() const { return ext_ != nullptr; }
 
-  T* data() { return data_.data(); }
-  const T* data() const { return data_.data(); }
+  T* data() { return ext_ != nullptr ? ext_ : data_.data(); }
+  const T* data() const { return ext_ != nullptr ? ext_ : data_.data(); }
 
   MatrixView<T> matrix(int k) {
     REGLA_CHECK(k >= 0 && k < count_);
-    return MatrixView<T>(data_.data() + k * stride(), rows_, cols_, rows_);
+    return MatrixView<T>(data() + k * stride(), rows_, cols_, rows_);
   }
   MatrixView<const T> matrix(int k) const {
     REGLA_CHECK(k >= 0 && k < count_);
-    return MatrixView<const T>(data_.data() + k * stride(), rows_, cols_, rows_);
+    return MatrixView<const T>(data() + k * stride(), rows_, cols_, rows_);
   }
 
-  T& at(int k, int i, int j) { return data_[k * stride() + i + static_cast<std::size_t>(j) * rows_]; }
+  T& at(int k, int i, int j) { return data()[k * stride() + i + static_cast<std::size_t>(j) * rows_]; }
   const T& at(int k, int i, int j) const {
-    return data_[k * stride() + i + static_cast<std::size_t>(j) * rows_];
+    return data()[k * stride() + i + static_cast<std::size_t>(j) * rows_];
   }
 
  private:
@@ -133,6 +202,8 @@ class BatchedMatrix {
   int rows_ = 0;
   int cols_ = 0;
   std::vector<T> data_;
+  T* ext_ = nullptr;               ///< borrowed-mode base (null = owned)
+  std::shared_ptr<void> owner_;    ///< keeps borrowed storage alive
 };
 
 using MatrixF = Matrix<float>;

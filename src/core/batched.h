@@ -16,12 +16,11 @@
 // planning entirely. choose_approach below remains as the model-free static
 // rule (and the planner's reference in tests/benches).
 //
-// MIGRATION: the batched_* free functions below are [[deprecated]]
-// forwarders. Equivalent non-deprecated free functions (same contracts,
-// same shared plan cache) live in ops/batched_compat.h as ops::batched_*;
-// new code should prefer the regla::Solver facade (planner/solver.h), which
-// owns its planner + cache and returns the richer unified SolveReport. See
-// the README migration table.
+// The historical core::batched_* free functions are gone (they spent a
+// deprecation cycle as forwarders): use ops::batched_* (ops/batched_compat.h,
+// same contracts, one shared plan cache) or the regla::Solver facade
+// (planner/solver.h), which owns its planner + cache and returns the richer
+// unified SolveReport. See the README migration table.
 #pragma once
 
 #include "core/per_block.h"
@@ -77,39 +76,5 @@ struct BatchedOutcome {
   double nominal_flops = 0;
   double gflops() const { return seconds > 0 ? nominal_flops / seconds / 1e9 : 0; }
 };
-
-/// QR factorization of the whole batch in place. For the tiled path only the
-/// R factors are retained (written back into the leading n x n block of each
-/// problem; below-diagonal contents unspecified) and taus is not produced.
-[[deprecated("use ops::batched_qr (ops/batched_compat.h) or regla::Solver::qr")]]
-BatchedOutcome batched_qr(regla::simt::Device& dev, BatchF& batch,
-                          BatchF* taus = nullptr,
-                          const SolveOptions& opts = {});
-[[deprecated("use ops::batched_qr (ops/batched_compat.h) or regla::Solver::qr")]]
-BatchedOutcome batched_qr(regla::simt::Device& dev, BatchC& batch,
-                          BatchC* taus = nullptr,
-                          const SolveOptions& opts = {});
-
-/// Unpivoted LU (square problems that fit at most one block).
-[[deprecated("use ops::batched_lu (ops/batched_compat.h) or regla::Solver::lu")]]
-BatchedOutcome batched_lu(regla::simt::Device& dev, BatchF& batch,
-                          const SolveOptions& opts = {});
-
-/// Solve A_k x_k = b_k; method selected via SolveOptions (auto_ = the stable
-/// QR path; gauss_jordan assumes diagonally dominant inputs, as in the
-/// paper).
-[[deprecated(
-    "use ops::batched_solve (ops/batched_compat.h) or regla::Solver::solve")]]
-BatchedOutcome batched_solve(regla::simt::Device& dev, BatchF& a, BatchF& b,
-                             const SolveOptions& opts = {});
-
-/// Least squares for tall problems: per-block while [A | b] fits one block's
-/// register file, TSQR-chained (tiled) beyond. x_k lands in the first n
-/// entries of b_k either way.
-[[deprecated(
-    "use ops::batched_least_squares (ops/batched_compat.h) or "
-    "regla::Solver::least_squares")]]
-BatchedOutcome batched_least_squares(regla::simt::Device& dev, BatchF& a,
-                                     BatchF& b, const SolveOptions& opts = {});
 
 }  // namespace regla::core

@@ -92,37 +92,3 @@ core::BatchedOutcome batched_trsm_lower(regla::simt::Device& dev, BatchF& l,
 }
 
 }  // namespace regla::ops
-
-// --- deprecated core:: forwarders -------------------------------------------
-// Definitions for the [[deprecated]] declarations in core/batched.h: the
-// legacy names keep working, dispatched through the registry like everything
-// else, while the attribute steers callers to ops::batched_* / regla::Solver.
-
-namespace regla::core {
-
-BatchedOutcome batched_qr(regla::simt::Device& dev, BatchF& batch, BatchF* taus,
-                          const SolveOptions& opts) {
-  return ops::batched_qr(dev, batch, taus, opts);
-}
-
-BatchedOutcome batched_qr(regla::simt::Device& dev, BatchC& batch, BatchC* taus,
-                          const SolveOptions& opts) {
-  return ops::batched_qr(dev, batch, taus, opts);
-}
-
-BatchedOutcome batched_lu(regla::simt::Device& dev, BatchF& batch,
-                          const SolveOptions& opts) {
-  return ops::batched_lu(dev, batch, opts);
-}
-
-BatchedOutcome batched_solve(regla::simt::Device& dev, BatchF& a, BatchF& b,
-                             const SolveOptions& opts) {
-  return ops::batched_solve(dev, a, b, opts);
-}
-
-BatchedOutcome batched_least_squares(regla::simt::Device& dev, BatchF& a,
-                                     BatchF& b, const SolveOptions& opts) {
-  return ops::batched_least_squares(dev, a, b, opts);
-}
-
-}  // namespace regla::core

@@ -1,10 +1,10 @@
-// Non-deprecated free-function entry points over the op registry, with the
-// historical core::batched_* contracts: one process-wide shared planner (so
-// repeated calls hit a warm plan cache), BatchedOutcome results.
+// Free-function entry points over the op registry, with the historical
+// core::batched_* contracts: one process-wide shared planner (so repeated
+// calls hit a warm plan cache), BatchedOutcome results.
 //
-// The core::batched_* names in core/batched.h now forward here and are
-// [[deprecated]]; callers that want free functions should use these, and
-// callers that want reports/caching control should use regla::Solver.
+// The deprecated core::batched_* forwarders have been removed after their
+// migration cycle; these are the free-function API, and callers that want
+// reports/caching control should use regla::Solver.
 #pragma once
 
 #include "core/batched.h"

@@ -1,5 +1,7 @@
 #include "planner/op_traits.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "model/flops.h"
 
@@ -25,6 +27,7 @@ OpTraits make_qr() {
   t.has_per_thread = true;
   t.has_tiled = true;
   t.data_independent = true;  // unpivoted Householder: fixed op/address schedule
+  t.raggable = true;
   t.flops = qr_op_flops;
   return t;
 }
@@ -38,6 +41,7 @@ OpTraits make_lu() {
   t.fill = FillKind::diag_dominant;
   t.data_independent = true;  // unpivoted elimination (the pivoting kernel is
                               // core-API only and never dispatched here)
+  t.raggable = true;
   t.flops = lu_op_flops;
   return t;
 }
@@ -50,6 +54,7 @@ OpTraits make_solve_qr() {
   t.extra_cols = 1;
   t.fill = FillKind::diag_dominant;
   t.data_independent = true;
+  t.raggable = true;
   t.flops = solve_qr_op_flops;
   return t;
 }
@@ -64,6 +69,7 @@ OpTraits make_solve_gj() {
   t.block_alg = model::BlockAlg::lu;
   t.fill = FillKind::diag_dominant;
   t.data_independent = true;
+  t.raggable = true;
   t.flops = solve_gj_op_flops;
   return t;
 }
@@ -76,6 +82,7 @@ OpTraits make_least_squares() {
   t.extra_cols = 1;
   t.has_tiled = true;
   t.data_independent = true;
+  t.raggable = true;
   t.flops = ls_op_flops;
   return t;
 }
@@ -87,6 +94,7 @@ OpTraits make_cholesky() {
   t.block_alg = model::BlockAlg::lu;  // elimination-shaped work, no reflectors
   t.fill = FillKind::spd;
   t.data_independent = true;
+  t.raggable = true;
   t.flops = cholesky_op_flops;
   return t;
 }
@@ -100,6 +108,7 @@ OpTraits make_trsm() {
   t.block_alg = model::BlockAlg::lu;
   t.fill = FillKind::diag_dominant;  // diag-dominant lower factor: no breakdown
   t.data_independent = true;
+  t.raggable = true;
   t.flops = trsm_op_flops;
   return t;
 }
@@ -130,6 +139,22 @@ bool shape_ok(const OpTraits& t, int m, int n) {
 
 bool dtype_ok(const OpTraits& t, Dtype dtype) {
   return dtype == Dtype::f32 || t.supports_c64;
+}
+
+RaggedTile ragged_tile(const OpTraits& t, int m, int n) {
+  if (!t.raggable || !shape_ok(t, m, n)) return {};
+  const auto up = [](int v) {
+    int p = 4;
+    while (p < v) p *= 2;
+    return p;
+  };
+  const int N = up(n);
+  int M = std::max(up(m), N);
+  // Every identity entry A'[m+k][n+k] (k < N-n) must land in a padded row.
+  while (M - m < N - n) M *= 2;
+  if (t.tall_only && M <= N) M *= 2;
+  if (M > kRaggedTileCap || N > kRaggedTileCap) return {};
+  return RaggedTile{M, N};
 }
 
 }  // namespace regla::planner

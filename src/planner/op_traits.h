@@ -52,6 +52,15 @@ struct OpTraits {
   model::BlockAlg block_alg = model::BlockAlg::qr;
   FillKind fill = FillKind::uniform;
   FillKind rhs_fill = FillKind::uniform;
+  /// The op admits ragged coalescing: a smaller m x n problem embedded in
+  /// the top-left of a padded M x N tile — zeros elsewhere, ones on the
+  /// trailing diagonal A'[m+k][n+k] (k < N-n) — factors/solves to exactly
+  /// the original answer in the top-left (padding contributes only exact
+  /// zeros to every reduction), so mixed shapes can share one launch. True
+  /// for all the unpivoted direct ops served here; leave false for any op
+  /// whose algorithm inspects global structure the embedding changes
+  /// (column pivoting, rank-revealing factorizations).
+  bool raggable = false;
   /// Nominal FLOPs for one m x n problem (paper §III; feeds Eq. 1 / Table
   /// VI scaling and every reported GFLOP/s).
   double (*flops)(int m, int n, Dtype dtype) = nullptr;
@@ -73,5 +82,20 @@ bool dtype_ok(const OpTraits& t, Dtype dtype);
 
 /// Columns materialized in the register tile: n plus the augmented RHS.
 inline int augmented_cols(const OpTraits& t, int n) { return n + t.extra_cols; }
+
+/// The padded tile an m x n problem buckets into under ragged coalescing, or
+/// {0, 0} when the op/shape is not raggable (trait off, invalid shape, or a
+/// tile that would outgrow kRaggedTileCap and stop fitting the register
+/// file). Tiles are pow2-sided (min 4) so nearby shapes share buckets;
+/// square ops stay square, and M grows until M - m >= N - n so every
+/// trailing-diagonal one of the identity embedding lands inside the padded
+/// rows (tall ops additionally keep M > N).
+struct RaggedTile {
+  int m = 0;
+  int n = 0;
+  explicit operator bool() const { return m > 0 && n > 0; }
+};
+inline constexpr int kRaggedTileCap = 64;
+RaggedTile ragged_tile(const OpTraits& t, int m, int n);
 
 }  // namespace regla::planner

@@ -22,8 +22,8 @@
 //     knobs (solve method, per-block thread override, register layout),
 //     carried to the kernels inside ops::Call.
 //
-// The deprecated free functions in core/batched.h forward to
-// ops::batched_* (ops/batched_compat.h); this facade is the supported API.
+// The free-function API lives in ops/batched_compat.h (ops::batched_*, one
+// shared plan cache); this facade is the supported API for everything else.
 #pragma once
 
 #include <memory>

@@ -58,6 +58,7 @@ std::size_t SignatureHash::operator()(const Signature& s) const {
   mix(static_cast<std::uint64_t>(s.dtype));
   mix(static_cast<std::uint64_t>(s.threads));
   mix(static_cast<std::uint64_t>(s.layout));
+  mix(static_cast<std::uint64_t>(s.ragged));
   return static_cast<std::size_t>(h);
 }
 
@@ -74,6 +75,7 @@ Runtime::Runtime(Options opt)
   opt_.workers = std::max(1, opt_.workers);
   opt_.target_waves = std::max(1, opt_.target_waves);
   planner_ = std::make_shared<planner::Planner>(opt_.planner);
+  arena_ = std::make_unique<Arena>();
 
   fleet::Fleet::Options fopt;
   fopt.devices = opt_.devices;
@@ -147,11 +149,26 @@ void validate_c64(planner::Op op, BatchC& a) {
 
 }  // namespace
 
+void Runtime::apply_ragged(planner::Op op, const BatchF& a,
+                           Signature& sig) const {
+  if (!opt_.ragged) return;
+  // Shape admissibility was already validated at the submitted dims; the
+  // tile helper returns {0,0} for shapes/ops the embedding cannot serve
+  // (then the request coalesces signature-pure, exactly as before).
+  const planner::RaggedTile tile =
+      planner::ragged_tile(planner::op_traits(op), a.rows(), a.cols());
+  if (!tile) return;
+  sig.m = tile.m;
+  sig.n = tile.n;
+  sig.ragged = true;
+}
+
 std::future<Report> Runtime::submit(planner::Op op, BatchF a, BatchF b,
                                     const core::SolveOptions& opts) {
   validate_f32(op, a, b);
-  const Signature sig{op, a.rows(), a.cols(), planner::Dtype::f32,
-                      opts.threads, opts.layout};
+  Signature sig{op, a.rows(), a.cols(), planner::Dtype::f32,
+                opts.threads, opts.layout};
+  apply_ragged(op, a, sig);
   Payload p;
   p.a = std::move(a);
   p.b = std::move(b);
@@ -172,8 +189,9 @@ std::future<Report> Runtime::submit(planner::Op op, BatchC a,
 std::future<Report> Runtime::submit(planner::Op op, BatchF a, BatchF b,
                                     const SubmitOptions& sopts) {
   validate_f32(op, a, b);
-  const Signature sig{op, a.rows(), a.cols(), planner::Dtype::f32,
-                      sopts.solve.threads, sopts.solve.layout};
+  Signature sig{op, a.rows(), a.cols(), planner::Dtype::f32,
+                sopts.solve.threads, sopts.solve.layout};
+  apply_ragged(op, a, sig);
   Payload p;
   p.a = std::move(a);
   p.b = std::move(b);
@@ -196,8 +214,9 @@ std::future<Report> Runtime::submit(planner::Op op, BatchC a,
 std::optional<std::future<Report>> Runtime::try_submit(
     planner::Op op, BatchF a, BatchF b, const core::SolveOptions& opts) {
   validate_f32(op, a, b);
-  const Signature sig{op, a.rows(), a.cols(), planner::Dtype::f32,
-                      opts.threads, opts.layout};
+  Signature sig{op, a.rows(), a.cols(), planner::Dtype::f32,
+                opts.threads, opts.layout};
+  apply_ragged(op, a, sig);
   Payload p;
   p.a = std::move(a);
   p.b = std::move(b);
@@ -509,8 +528,23 @@ SolveReport Runtime::solve_cpu_unleased(const Signature& sig, Payload& p) {
   return solve_cpu(*no_device_pool_, sig, p);
 }
 
+SolveReport Runtime::solve_solo(fleet::Lease& lease, const Signature& sig,
+                                Payload& p, SolveOutcome& outcome) {
+  if (!resilient())
+    return solve_resilient(lease, sig, p, outcome, {});
+  // A lone payload solved in place: a retry must restore it, and by the
+  // time the failure is observed the input may be partially factored — so
+  // the snapshot has to be taken up front. This only runs on the isolation
+  // / re-run paths (a batch already failed), never in steady state, so the
+  // allocation does not dent the zero-alloc budget.
+  auto snapshot = std::make_shared<Payload>(p);
+  return solve_resilient(lease, sig, p, outcome,
+                         [&p, snapshot] { p = *snapshot; });
+}
+
 SolveReport Runtime::solve_resilient(fleet::Lease& lease, const Signature& sig,
-                                     Payload& p, SolveOutcome& outcome) {
+                                     Payload& p, SolveOutcome& outcome,
+                                     const std::function<void()>& restore) {
   outcome.device_id = lease.device_id();
   outcome.device = lease.device_name();
   if (opt_.max_retries <= 0 && !opt_.cpu_fallback) {
@@ -534,9 +568,13 @@ SolveReport Runtime::solve_resilient(fleet::Lease& lease, const Signature& sig,
   }
 
   // A transient failure can abort mid-chain (tiled solves launch several
-  // kernels), leaving the payload partially factored — every retry must
-  // restart from pristine input.
-  const Payload snapshot = p;
+  // kernels), leaving the working payload partially factored — every retry
+  // must restart from pristine input. The pristine epoch lives in the
+  // submitters' own buffers (a staged batch never touches them until the
+  // success scatter), so `restore` re-gathers into the staging blocks
+  // instead of restoring from an eagerly copied snapshot: the bounded-retry
+  // path costs zero allocations until a retry actually happens — and zero
+  // even then.
   std::uint64_t exclude = 0;
   for (int attempt = 0;;) {
     try {
@@ -547,7 +585,7 @@ SolveReport Runtime::solve_resilient(fleet::Lease& lease, const Signature& sig,
       fleet_->record_success(lease, p.problems(), r.seconds);
       return r;
     } catch (const TransientLaunchFailure&) {
-      p = snapshot;
+      if (restore) restore();
       if (attempt < opt_.max_retries) {
         outcome.retries = ++attempt;
         {
@@ -614,6 +652,217 @@ SolveReport Runtime::solve_resilient(fleet::Lease& lease, const Signature& sig,
   }
 }
 
+// --- Assembly ---------------------------------------------------------------
+
+namespace {
+
+std::size_t pow2_ceil(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// data()+size() of one batch is exactly the next batch's data(): the spans
+/// concatenate into one problem-major allocation with no gap.
+template <typename T>
+bool spans_adjacent(const BatchedMatrix<T>& a, const BatchedMatrix<T>& b) {
+  return a.data() + a.size() == b.data();
+}
+
+}  // namespace
+
+Runtime::Assembled Runtime::assemble(Batch& batch) {
+  const Signature& sig = batch.sig;
+  Assembled as;
+  if (sig.ragged)
+    for (const Pending& req : batch.requests)
+      if (req.payload.a.rows() != sig.m || req.payload.a.cols() != sig.n) {
+        as.padded = true;
+        break;
+      }
+  // Zero-copy tiers, resilience off only: solving writes straight into the
+  // submitters' buffers, which forfeits the pristine epoch a retry restore
+  // needs. (Resilient batches always stage — that staging copy is the same
+  // gather the coalesced path always paid, so resilience no longer costs an
+  // extra snapshot.)
+  if (!as.padded && !resilient()) {
+    const Payload& front = batch.requests.front().payload;
+    bool viewable = true;
+    for (std::size_t i = 1; i < batch.requests.size() && viewable; ++i) {
+      const Payload& prev = batch.requests[i - 1].payload;
+      const Payload& cur = batch.requests[i].payload;
+      viewable = front.is_complex
+                     ? spans_adjacent(prev.ca, cur.ca)
+                     : spans_adjacent(prev.a, cur.a) &&
+                           (front.b.count() == 0 ||
+                            spans_adjacent(prev.b, cur.b));
+    }
+    if (viewable) {
+      // One request trivially qualifies (solve in place, the legacy fast
+      // path); several qualify when their payloads were leased back-to-back
+      // from the arena — the coalesced batch is then a view spanning them.
+      // No owner handle: the requests outlive the solve inside the batch.
+      as.mode = AssemblyMode::view;
+      Payload& p0 = batch.requests.front().payload;
+      if (p0.is_complex) {
+        as.payload.ca = BatchC::borrow(p0.ca.data(), batch.problems,
+                                       sig.m, sig.n);
+        as.payload.is_complex = true;
+      } else {
+        as.payload.a = BatchF::borrow(p0.a.data(), batch.problems,
+                                      sig.m, sig.n);
+        if (p0.b.count() > 0)
+          as.payload.b = BatchF::borrow(p0.b.data(), batch.problems,
+                                        p0.b.rows(), 1);
+      }
+      return as;
+    }
+  }
+
+  // Staged: gather into arena-leased staging blocks (padding ragged
+  // problems to the tile). Lease sizes round to the next power of two so
+  // the handful of size classes recycles across every batch size a queue
+  // produces — steady state re-leases, never allocates.
+  as.mode = AssemblyMode::staged;
+  const Payload& front = batch.requests.front().payload;
+  const std::size_t elem =
+      front.is_complex ? sizeof(std::complex<float>) : sizeof(float);
+  const std::size_t a_bytes = static_cast<std::size_t>(batch.problems) *
+                              sig.m * sig.n * elem;
+  as.a_block = arena_->lease(pow2_ceil(a_bytes));
+  if (front.is_complex) {
+    as.payload.ca =
+        BatchC::borrow(reinterpret_cast<std::complex<float>*>(
+                           as.a_block.data()),
+                       batch.problems, sig.m, sig.n, as.a_block.owner());
+    as.payload.is_complex = true;
+  } else {
+    as.payload.a = BatchF::borrow(
+        reinterpret_cast<float*>(as.a_block.data()), batch.problems, sig.m,
+        sig.n, as.a_block.owner());
+    const planner::OpTraits& traits = planner::op_traits(sig.op);
+    if (traits.rhs != planner::RhsShape::none) {
+      const int brows =
+          traits.rhs == planner::RhsShape::m_by_1 ? sig.m : sig.n;
+      as.b_block = arena_->lease(pow2_ceil(
+          static_cast<std::size_t>(batch.problems) * brows * elem));
+      as.payload.b = BatchF::borrow(
+          reinterpret_cast<float*>(as.b_block.data()), batch.problems, brows,
+          1, as.b_block.owner());
+    }
+  }
+  gather(batch, as);
+  return as;
+}
+
+void Runtime::gather(const Batch& batch, Assembled& as) {
+  std::uint64_t copied = 0;
+  if (as.payload.is_complex) {
+    BatchC& A = as.payload.ca;
+    int off = 0;
+    for (const Pending& req : batch.requests) {
+      const BatchC& ra = req.payload.ca;
+      std::copy_n(ra.data(), ra.size(), A.data() + off * A.stride());
+      copied += ra.bytes();
+      off += ra.count();
+    }
+  } else {
+    BatchF& A = as.payload.a;
+    BatchF& B = as.payload.b;
+    if (as.padded) {
+      // Mixed shapes: zero the whole staging area once, then embed each
+      // problem top-left with ones on the trailing diagonal — the identity
+      // padding that makes the tile factor/solve to exactly the submitted
+      // problem's answer (planner::ragged_tile guarantees the ones fit).
+      std::memset(A.data(), 0, A.bytes());
+      if (B.count() > 0) std::memset(B.data(), 0, B.bytes());
+    }
+    int off = 0;
+    for (const Pending& req : batch.requests) {
+      const BatchF& ra = req.payload.a;
+      const BatchF& rb = req.payload.b;
+      if (ra.rows() == A.rows() && ra.cols() == A.cols()) {
+        std::copy_n(ra.data(), ra.size(), A.data() + off * A.stride());
+        copied += ra.bytes();
+        if (B.count() > 0) {
+          std::copy_n(rb.data(), rb.size(), B.data() + off * B.stride());
+          copied += rb.bytes();
+        }
+      } else {
+        const int mr = ra.rows(), nr = ra.cols();
+        for (int k = 0; k < ra.count(); ++k) {
+          float* dst = A.data() + (off + k) * A.stride();
+          const float* src = ra.data() + k * ra.stride();
+          for (int j = 0; j < nr; ++j)
+            std::copy_n(src + static_cast<std::size_t>(j) * mr, mr,
+                        dst + static_cast<std::size_t>(j) * A.rows());
+          for (int t = 0; t < A.cols() - nr; ++t)
+            dst[(nr + t) * static_cast<std::size_t>(A.rows()) + mr + t] = 1.0f;
+          if (B.count() > 0)
+            std::copy_n(rb.data() + k * rb.stride(), rb.rows(),
+                        B.data() + (off + k) * B.stride());
+        }
+        copied += ra.bytes() + (B.count() > 0 ? rb.bytes() : 0);
+      }
+      off += ra.count();
+    }
+  }
+  obs::counter("runtime.payload_bytes_copied").add(copied);
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.payload_bytes_copied += copied;
+}
+
+void Runtime::scatter(const Assembled& as, Batch& batch) {
+  if (as.mode != AssemblyMode::staged) return;  // views solved in place
+  std::uint64_t copied = 0;
+  if (as.payload.is_complex) {
+    const BatchC& A = as.payload.ca;
+    int off = 0;
+    for (Pending& req : batch.requests) {
+      BatchC& ra = req.payload.ca;
+      std::copy_n(A.data() + off * A.stride(), ra.size(), ra.data());
+      copied += ra.bytes();
+      off += ra.count();
+    }
+  } else {
+    const BatchF& A = as.payload.a;
+    const BatchF& B = as.payload.b;
+    int off = 0;
+    for (Pending& req : batch.requests) {
+      BatchF& ra = req.payload.a;
+      BatchF& rb = req.payload.b;
+      if (ra.rows() == A.rows() && ra.cols() == A.cols()) {
+        std::copy_n(A.data() + off * A.stride(), ra.size(), ra.data());
+        copied += ra.bytes();
+        if (B.count() > 0) {
+          std::copy_n(B.data() + off * B.stride(), rb.size(), rb.data());
+          copied += rb.bytes();
+        }
+      } else {
+        // Slice each result back out of its tile: the top-left m x n block
+        // (and the first rows of the padded RHS column) are exactly the
+        // submitted problem's factors/solution.
+        const int mr = ra.rows(), nr = ra.cols();
+        for (int k = 0; k < ra.count(); ++k) {
+          const float* src = A.data() + (off + k) * A.stride();
+          float* dst = ra.data() + k * ra.stride();
+          for (int j = 0; j < nr; ++j)
+            std::copy_n(src + static_cast<std::size_t>(j) * A.rows(), mr,
+                        dst + static_cast<std::size_t>(j) * mr);
+          if (B.count() > 0)
+            std::copy_n(B.data() + (off + k) * B.stride(), rb.rows(),
+                        rb.data() + k * rb.stride());
+        }
+        copied += ra.bytes() + (B.count() > 0 ? rb.bytes() : 0);
+      }
+      off += ra.count();
+    }
+  }
+  obs::counter("runtime.payload_bytes_copied").add(copied);
+  std::lock_guard<std::mutex> slock(stats_mu_);
+  stats_.payload_bytes_copied += copied;
+}
+
 void Runtime::fulfill(Pending& req, const SolveReport& batch_report,
                       const Batch& batch, int offset,
                       Clock::time_point started, const SolveOutcome& outcome) {
@@ -650,6 +899,7 @@ void Runtime::fulfill(Pending& req, const SolveReport& batch_report,
   r.solved_on_cpu = outcome.on_cpu;
   r.device_id = outcome.device_id;
   r.device = outcome.device;
+  r.ragged = batch.sig.ragged;
   r.a = std::move(req.payload.a);
   r.b = std::move(req.payload.b);
   r.ca = std::move(req.payload.ca);
@@ -715,72 +965,30 @@ void Runtime::execute(Batch& batch) {
   bool poisoned = false;
   double device_seconds = 0;
   SolveOutcome outcome;
+  Assembled as;
+  bool assembled = false;
   try {
-    if (batch.requests.size() == 1) {
-      // Single request: solve its payload in place, no assembly copy.
-      const SolveReport r = solve_resilient(lease, batch.sig,
-                                            batch.requests[0].payload, outcome);
-      device_seconds += r.seconds;
-      // The device's work is done: free the stream before delivering the
-      // future, so a caller unblocked by .get() can immediately route here.
-      lease.release();
-      fulfill(batch.requests[0], r, batch, 0, started, outcome);
-    } else if (batch.requests.front().payload.is_complex) {
-      BatchC big(batch.problems, batch.sig.m, batch.sig.n);
-      int off = 0;
-      for (const Pending& req : batch.requests) {
-        std::copy_n(req.payload.ca.data(), req.payload.ca.size(),
-                    big.data() + off * big.stride());
-        off += req.payload.ca.count();
-      }
-      Payload coalesced;
-      coalesced.ca = std::move(big);
-      coalesced.is_complex = true;
-      const SolveReport r = solve_resilient(lease, batch.sig, coalesced,
-                                            outcome);
-      device_seconds += r.seconds;
-      lease.release();  // scatter + delivery below don't need the stream
-      off = 0;
-      for (Pending& req : batch.requests) {
-        std::copy_n(coalesced.ca.data() + off * coalesced.ca.stride(),
-                    req.payload.ca.size(), req.payload.ca.data());
-        const int k = req.payload.ca.count();
-        fulfill(req, r, batch, off, started, outcome);
-        off += k;
-      }
-    } else {
-      const Payload& front = batch.requests.front().payload;
-      BatchF big_a(batch.problems, batch.sig.m, batch.sig.n);
-      BatchF big_b = front.b.count() > 0
-                         ? BatchF(batch.problems, front.b.rows(), 1)
-                         : BatchF();
-      int off = 0;
-      for (const Pending& req : batch.requests) {
-        std::copy_n(req.payload.a.data(), req.payload.a.size(),
-                    big_a.data() + off * big_a.stride());
-        if (big_b.count() > 0)
-          std::copy_n(req.payload.b.data(), req.payload.b.size(),
-                      big_b.data() + off * big_b.stride());
-        off += req.payload.a.count();
-      }
-      Payload coalesced;
-      coalesced.a = std::move(big_a);
-      coalesced.b = std::move(big_b);
-      const SolveReport r = solve_resilient(lease, batch.sig, coalesced,
-                                            outcome);
-      device_seconds += r.seconds;
-      lease.release();  // scatter + delivery below don't need the stream
-      off = 0;
-      for (Pending& req : batch.requests) {
-        const int k = req.payload.a.count();
-        std::copy_n(coalesced.a.data() + off * coalesced.a.stride(),
-                    req.payload.a.size(), req.payload.a.data());
-        if (coalesced.b.count() > 0)
-          std::copy_n(coalesced.b.data() + off * coalesced.b.stride(),
-                      req.payload.b.size(), req.payload.b.data());
-        fulfill(req, r, batch, off, started, outcome);
-        off += k;
-      }
+    // Build the device-facing payload: a zero-copy view over the
+    // submitters' buffers when possible, otherwise an arena-staged gather
+    // (padded to the tile for ragged buckets). Staged batches retry by
+    // re-gathering from the pristine request buffers — no snapshot copy.
+    as = assemble(batch);
+    assembled = true;
+    const SolveReport r = solve_resilient(
+        lease, batch.sig, as.payload, outcome,
+        as.mode == AssemblyMode::staged
+            ? std::function<void()>([this, &batch, &as] { gather(batch, as); })
+            : std::function<void()>{});
+    device_seconds += r.seconds;
+    // The device's work is done: free the stream before scatter/delivery,
+    // so a caller unblocked by .get() can immediately route here.
+    lease.release();
+    scatter(as, batch);
+    int off = 0;
+    for (Pending& req : batch.requests) {
+      const int k = req.payload.problems();
+      fulfill(req, r, batch, off, started, outcome);
+      off += k;
     }
   } catch (...) {
     poisoned = true;
@@ -821,7 +1029,7 @@ void Runtime::execute(Batch& batch) {
         }
         SolveOutcome solo_outcome;
         const SolveReport r =
-            solve_resilient(lease, batch.sig, req.payload, solo_outcome);
+            solve_solo(lease, batch.sig, req.payload, solo_outcome);
         device_seconds += r.seconds;
         Batch solo;
         solo.sig = batch.sig;
@@ -848,7 +1056,7 @@ void Runtime::execute(Batch& batch) {
     }
   }
 
-  record_batch_stats(batch, device_seconds);
+  record_batch_stats(batch, device_seconds, assembled ? &as : nullptr);
 }
 
 void Runtime::execute_no_device(Batch& batch, Clock::time_point started) {
@@ -947,14 +1155,29 @@ void Runtime::shutdown() {
 
 // --- Stats -----------------------------------------------------------------
 
-void Runtime::record_batch_stats(const Batch& batch, double device_seconds) {
+void Runtime::record_batch_stats(const Batch& batch, double device_seconds,
+                                 const Assembled* as) {
   obs::histogram("runtime.batch_problems").record(batch.problems);
+  if (batch.sig.ragged) obs::counter("runtime.ragged_batches").add();
+  if (as != nullptr) {
+    if (as->mode == AssemblyMode::view)
+      obs::counter("runtime.view_batches").add();
+    else
+      obs::counter("runtime.staged_batches").add();
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.batches;
   stats_.coalesced_problems += static_cast<std::uint64_t>(batch.problems);
   ++stats_.flushes[static_cast<int>(batch.reason)];
   ++stats_.batch_hist[batch_bucket(batch.problems)];
   stats_.device_seconds += device_seconds;
+  if (batch.sig.ragged) ++stats_.ragged_batches;
+  if (as != nullptr) {
+    if (as->mode == AssemblyMode::view)
+      ++stats_.view_batches;
+    else
+      ++stats_.staged_batches;
+  }
   export_stats();
 }
 
@@ -968,8 +1191,17 @@ void Runtime::record_latency(Clock::time_point enqueued) {
 }
 
 RuntimeStats Runtime::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  RuntimeStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  // The arena keeps its own (lock-free to read) accounting; fold it into
+  // the snapshot so callers see one coherent payload story.
+  const Arena::Stats a = arena_->stats();
+  s.payload_allocs = a.slab_allocs;
+  s.payload_reuses = a.reuses;
+  return s;
 }
 
 void Runtime::export_stats() const {

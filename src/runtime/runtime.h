@@ -53,7 +53,9 @@
 
 #include "cpu/thread_pool.h"
 #include "fleet/fleet.h"
+#include "planner/op_traits.h"
 #include "planner/solver.h"
+#include "runtime/arena.h"
 #include "runtime/errors.h"
 #include "runtime/timer_wheel.h"
 
@@ -77,6 +79,9 @@ inline const char* to_string(FlushReason r) {
 
 /// The coalescing key: requests merge into one device batch only when every
 /// field matches (same kernel family, same shapes, same solve options).
+/// Under ragged coalescing (RuntimeOptions::ragged) m/n are the padded tile
+/// from planner::ragged_tile and `ragged` is set: mixed submitted shapes
+/// that bucket to the same tile share one queue and one launch.
 struct Signature {
   planner::Op op = planner::Op::qr;
   int m = 0;
@@ -84,6 +89,7 @@ struct Signature {
   planner::Dtype dtype = planner::Dtype::f32;
   int threads = 0;               ///< SolveOptions::threads (0 = planner's)
   core::Layout layout = core::Layout::cyclic2d;
+  bool ragged = false;           ///< m/n are a ragged bucket tile, not exact
 
   bool operator==(const Signature&) const = default;
 };
@@ -110,6 +116,8 @@ struct Report : SolveReport {
   /// never held a device lease — the no-device cpu path).
   int device_id = -1;
   std::string device;
+  /// The batch rode a ragged bucket (mixed shapes padded to one tile).
+  bool ragged = false;
   BatchF a;                    ///< the request's matrices, results in place
   BatchF b;                    ///< rhs / solutions (solve and least-squares)
   BatchC ca;                   ///< complex payload (c64 QR submissions)
@@ -204,6 +212,12 @@ struct RuntimeOptions {
   /// Deadline applied to requests that do not carry their own
   /// (SubmitOptions::deadline). Zero = none.
   std::chrono::microseconds default_deadline{0};
+  /// Ragged coalescing: f32 submissions of a raggable op bucket by the
+  /// padded tile planner::ragged_tile picks instead of their exact shape, so
+  /// mixed m x n traffic shares launches (each problem is embedded top-left
+  /// in a zero/identity-padded tile; results come back at the submitted
+  /// shape). Off = signature-pure coalescing, the legacy behavior.
+  bool ragged = false;
 };
 
 /// Cumulative counters, also exported to simt::stats as "runtime.*".
@@ -238,6 +252,20 @@ struct RuntimeStats {
   /// SolveReport::seconds summed) — the device-side cost coalescing
   /// amortizes, independent of how fast the host simulates it.
   double device_seconds = 0;
+
+  // Payload-path accounting (the zero-copy story). payload_allocs /
+  // payload_reuses are snapshots of the arena's slab mallocs and free-list
+  // hits: steady state must lease without allocating, so allocs flatten
+  // after warm-up (the CI alloc-budget gate enforces it). The batch-mode
+  // counts partition `batches` (plus execute_no_device batches, which
+  // assemble nothing).
+  std::uint64_t payload_allocs = 0;       ///< arena slab mallocs (cumulative)
+  std::uint64_t payload_reuses = 0;       ///< arena free-list hits
+  std::uint64_t payload_bytes_copied = 0; ///< gather/scatter/pad memcpy bytes
+  std::uint64_t view_batches = 0;         ///< zero-copy batches (in-place or
+                                          ///< adjacent-lease view concat)
+  std::uint64_t staged_batches = 0;       ///< arena-staged gather/scatter
+  std::uint64_t ragged_batches = 0;       ///< batches from ragged buckets
 
   /// Coalesced batch-size histogram: bucket i counts batches of
   /// [2^i, 2^(i+1)) problems.
@@ -330,6 +358,22 @@ class Runtime {
   /// launch waves of the planned kernel), as the queues use it.
   int preferred_batch(const Signature& sig) const;
 
+  /// The payload arena. Submitters may lease request buffers here
+  /// (lease_f32 / lease_c64 return zero-filled borrowed batches), write
+  /// problems in place, and submit as usual: back-to-back leases come back
+  /// address-adjacent, so a flush of such requests concatenates their
+  /// payloads into the device batch as a *view* — zero copies end to end
+  /// (resilience off; retries need a staged epoch to restore from). Results
+  /// ride the same block back inside Report::a/b, releasing it when the
+  /// Report is dropped.
+  Arena& arena() { return *arena_; }
+  BatchF lease_f32(int count, int rows, int cols) {
+    return arena_->batch_f32(count, rows, cols);
+  }
+  BatchC lease_c64(int count, int rows, int cols) {
+    return arena_->batch_c64(count, rows, cols);
+  }
+
  private:
   /// One submission's matrices. Exactly one of {a, ca} is populated.
   struct Payload {
@@ -366,6 +410,37 @@ class Runtime {
     FlushReason reason = FlushReason::size;
   };
 
+  /// How a batch's device-facing payload was built. `view`: the payload
+  /// borrows the submitters' own memory (a single request solved in place,
+  /// or adjacent arena leases concatenated) — zero copies, results land
+  /// where the callers already hold them. `staged`: problems are gathered
+  /// into arena-leased staging blocks (padded to the tile for ragged
+  /// buckets) and scattered back on success; the submitters' buffers stay
+  /// pristine until then, which is what makes retry restore a re-gather
+  /// instead of an eagerly allocated snapshot (CoW epochs: request buffers
+  /// are epoch 0, staging is the working epoch, scatter is the commit).
+  enum class AssemblyMode : std::uint8_t { view, staged };
+  struct Assembled {
+    Payload payload;             ///< what the solver sees (borrowed storage)
+    AssemblyMode mode = AssemblyMode::view;
+    Arena::Lease a_block, b_block;  ///< staging storage (staged mode)
+    bool padded = false;         ///< any problem embedded below tile dims
+  };
+  /// Pick the assembly mode for `batch` and build the device payload
+  /// (gathering into staging when zero-copy is not available).
+  Assembled assemble(Batch& batch);
+  /// (Re)fill the staging payload from the requests' pristine buffers.
+  void gather(const Batch& batch, Assembled& as);
+  /// Copy staged results back into the requests' buffers (view = no-op).
+  void scatter(const Assembled& as, Batch& batch);
+  /// Resilience on means every batch stages (a retry must be able to
+  /// restore the working payload from the submitters' pristine epoch).
+  bool resilient() const {
+    return opt_.max_retries > 0 || opt_.cpu_fallback;
+  }
+  /// Map sig to its ragged bucket tile when ragged coalescing applies.
+  void apply_ragged(planner::Op op, const BatchF& a, Signature& sig) const;
+
   std::future<Report> enqueue(const Signature& sig, Payload payload,
                               bool blocking, bool* rejected,
                               std::chrono::microseconds deadline = {});
@@ -391,9 +466,16 @@ class Runtime {
   /// TransientLaunchFailure; on exhaustion the per-device circuit breaker
   /// advances and the batch re-routes to a different fleet device (the lease
   /// is swapped in place), then — out of devices — degrades to the optional
-  /// CPU fallback. Throws only when the policy is out of options.
+  /// CPU fallback. Throws only when the policy is out of options. `restore`
+  /// re-pristines `p` before a retry (a staged batch re-gathers from the
+  /// submitters' buffers); may be empty when the policy cannot retry.
   SolveReport solve_resilient(fleet::Lease& lease, const Signature& sig,
-                              Payload& p, SolveOutcome& outcome);
+                              Payload& p, SolveOutcome& outcome,
+                              const std::function<void()>& restore);
+  /// solve_resilient for a lone request payload (the isolation and re-run
+  /// paths): takes a lazy pristine snapshot only when resilience is on.
+  SolveReport solve_solo(fleet::Lease& lease, const Signature& sig,
+                         Payload& p, SolveOutcome& outcome);
   /// Graceful degradation: the same contract as solve_one, on cpu:: solvers
   /// running over `pool` (a leased stream's fallback pool, or the runtime's
   /// own no-device pool via solve_cpu_unleased).
@@ -408,7 +490,10 @@ class Runtime {
                const Batch& batch, int offset, Clock::time_point started,
                const SolveOutcome& outcome);
   void dispatcher_loop();
-  void record_batch_stats(const Batch& batch, double device_seconds);
+  /// `as` describes how the batch's payload was assembled (null for the
+  /// no-device path, which assembles nothing).
+  void record_batch_stats(const Batch& batch, double device_seconds,
+                          const Assembled* as = nullptr);
   void record_latency(Clock::time_point enqueued);
   void export_stats() const;  // requires stats_mu_ held
 
@@ -418,6 +503,10 @@ class Runtime {
 
   Options opt_;
   std::shared_ptr<planner::Planner> planner_;
+  /// Payload slabs (staging + client leases). Declared before the fleet and
+  /// pool so any straggler lease embedded in an undelivered Report still
+  /// holds the shared arena State; the arena handle itself may die first.
+  std::unique_ptr<Arena> arena_;
   /// Declared before pool_: pool jobs reference the fleet, so the pool must
   /// drain and join first when the Runtime is destroyed.
   std::unique_ptr<fleet::Fleet> fleet_;
