@@ -103,6 +103,18 @@ def main():
               f"{args.fresh} and {args.baseline}")
         return 1 if (args.strict or strict_values) else 0
 
+    # Every value listed in --strict-rows must gate at least one shared row:
+    # a renamed rate tier or a typo in the strict list would otherwise
+    # silently disable the strict gate while CI keeps reporting green.
+    if strict_col_idx is not None:
+        matched = {norm(key[strict_col_idx]) for key in shared}
+        unmatched = sorted(strict_values - matched)
+        if unmatched:
+            print(f"bench-regression: --strict-rows value(s) matching no "
+                  f"shared row: {', '.join(unmatched)} (renamed tier or "
+                  f"typo? the strict gate would cover nothing)")
+            return 1
+
     regressions = []
     fatal = []
     print(f"bench-regression: '{args.value_col}', "

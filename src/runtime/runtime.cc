@@ -528,18 +528,39 @@ SolveReport Runtime::solve_cpu_unleased(const Signature& sig, Payload& p) {
   return solve_cpu(*no_device_pool_, sig, p);
 }
 
+namespace {
+
+/// Restore element data into a possibly-borrowed destination. Payload /
+/// BatchedMatrix copy-assignment would detach a borrowed (arena-leased)
+/// batch into an owned one, so a solo retry's results would stop landing in
+/// the client's leased block — breaking the documented "results ride the
+/// same block back" contract. Copying elements keeps the storage mode.
+template <typename T>
+void restore_elements(BatchedMatrix<T>& dst, const BatchedMatrix<T>& src) {
+  std::copy_n(src.data(), src.size(), dst.data());
+}
+
+}  // namespace
+
 SolveReport Runtime::solve_solo(fleet::Lease& lease, const Signature& sig,
                                 Payload& p, SolveOutcome& outcome) {
   if (!resilient())
     return solve_resilient(lease, sig, p, outcome, {});
   // A lone payload solved in place: a retry must restore it, and by the
   // time the failure is observed the input may be partially factored — so
-  // the snapshot has to be taken up front. This only runs on the isolation
+  // the snapshot has to be taken up front (the copy snapshots a borrowed
+  // payload into owned pristine storage). This only runs on the isolation
   // / re-run paths (a batch already failed), never in steady state, so the
   // allocation does not dent the zero-alloc budget.
   auto snapshot = std::make_shared<Payload>(p);
-  return solve_resilient(lease, sig, p, outcome,
-                         [&p, snapshot] { p = *snapshot; });
+  return solve_resilient(lease, sig, p, outcome, [&p, snapshot] {
+    if (p.is_complex) {
+      restore_elements(p.ca, snapshot->ca);
+    } else {
+      restore_elements(p.a, snapshot->a);
+      if (p.b.count() > 0) restore_elements(p.b, snapshot->b);
+    }
+  });
 }
 
 SolveReport Runtime::solve_resilient(fleet::Lease& lease, const Signature& sig,
@@ -663,10 +684,14 @@ std::size_t pow2_ceil(std::size_t v) {
 }
 
 /// data()+size() of one batch is exactly the next batch's data(): the spans
-/// concatenate into one problem-major allocation with no gap.
+/// concatenate into one problem-major slab with no gap. Only borrowed
+/// (arena-leased) batches qualify — two independently heap-allocated owned
+/// vectors can happen to abut, but they are still separate allocations, and
+/// indexing one through a pointer derived from the other is UB even when
+/// every per-problem access stays in bounds.
 template <typename T>
 bool spans_adjacent(const BatchedMatrix<T>& a, const BatchedMatrix<T>& b) {
-  return a.data() + a.size() == b.data();
+  return a.borrowed() && b.borrowed() && a.data() + a.size() == b.data();
 }
 
 }  // namespace
@@ -963,6 +988,7 @@ void Runtime::execute(Batch& batch) {
   // The device-facing part alone (stream held, solver running).
   obs::Span exec_span("runtime.execute", "runtime");
   bool poisoned = false;
+  std::exception_ptr batch_error;
   double device_seconds = 0;
   SolveOutcome outcome;
   Assembled as;
@@ -992,6 +1018,32 @@ void Runtime::execute(Batch& batch) {
     }
   } catch (...) {
     poisoned = true;
+    batch_error = std::current_exception();
+  }
+
+  if (poisoned && assembled && as.mode == AssemblyMode::view) {
+    // A view batch aliases the submitters' buffers, and a failure can abort
+    // a multi-launch (tiled) solve mid-chain — those buffers may now be
+    // partially factored, and no pristine epoch exists to re-run from
+    // (solve_solo only snapshots when resilience is on, and view assembly
+    // only happens when it is off). Re-solving here would silently deliver
+    // results computed from corrupted input, so fail every rider with the
+    // batch's error instead: correctness over isolation.
+    for (Pending& req : batch.requests) {
+      bool delivered = true;
+      try {
+        req.promise.set_exception(batch_error);
+      } catch (const std::future_error&) {
+        delivered = false;  // fulfilled before a later fulfill() threw
+      }
+      if (delivered) {
+        record_latency(req.enqueued);
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.failed_requests;
+      }
+    }
+    record_batch_stats(batch, device_seconds, &as);
+    return;
   }
 
   if (poisoned && !lease) {
